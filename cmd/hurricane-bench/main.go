@@ -1,0 +1,84 @@
+// hurricane-bench regenerates every table and figure of the paper's
+// evaluation on the simulated HECTOR machine, plus the ablations.
+//
+// Usage:
+//
+//	hurricane-bench                 # run everything (full rounds)
+//	hurricane-bench -run fig7       # experiments whose name matches
+//	hurricane-bench -quick          # reduced rounds (CI-scale)
+//	hurricane-bench -seed 7         # different deterministic seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"time"
+
+	"hurricane/internal/exp"
+)
+
+func main() {
+	runPat := flag.String("run", "", "regexp selecting experiments by name")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	quick := flag.Bool("quick", false, "reduced round counts")
+	flag.Parse()
+
+	rounds := func(full, reduced int) int {
+		if *quick {
+			return reduced
+		}
+		return full
+	}
+
+	experiments := []struct {
+		name string
+		run  func() *exp.Table
+	}{
+		{"fig4", func() *exp.Table { return exp.Figure4(*seed) }},
+		{"uncontended", func() *exp.Table { return exp.Uncontended(*seed) }},
+		{"fig5a", func() *exp.Table { return exp.Figure5(*seed, 0, rounds(300, 60)) }},
+		{"fig5b", func() *exp.Table { return exp.Figure5(*seed, 25, rounds(300, 60)) }},
+		{"fig7a", func() *exp.Table { return exp.Figure7a(*seed, rounds(30, 8)) }},
+		{"fig7b", func() *exp.Table { return exp.Figure7b(*seed, 4, rounds(10, 3)) }},
+		{"fig7c", func() *exp.Table { return exp.Figure7c(*seed, rounds(30, 8)) }},
+		{"fig7d", func() *exp.Table { return exp.Figure7d(*seed, 4, rounds(10, 3)) }},
+		{"calibration", func() *exp.Table { return exp.Calibration(*seed) }},
+		{"trylock", func() *exp.Table { return exp.TryLockFairness(*seed, rounds(60, 20)) }},
+		{"protocols", func() *exp.Table { return exp.Protocols(*seed) }},
+		{"hybrid", func() *exp.Table { return exp.HybridAblation(*seed, rounds(60, 15)) }},
+		{"combining", func() *exp.Table { return exp.Combining(*seed) }},
+		{"lockfree", func() *exp.Table { return exp.LockFree(*seed, rounds(40, 15)) }},
+		{"scaling", func() *exp.Table { return exp.Scaling(*seed, rounds(10, 4)) }},
+	}
+
+	var re *regexp.Regexp
+	if *runPat != "" {
+		var err error
+		re, err = regexp.Compile(*runPat)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -run pattern: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if re != nil && !re.MatchString(e.name) {
+			continue
+		}
+		start := time.Now()
+		tbl := e.run()
+		fmt.Println(tbl.String())
+		fmt.Printf("[%s completed in %v wall time]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments matched; available:")
+		for _, e := range experiments {
+			fmt.Fprintf(os.Stderr, "  %s\n", e.name)
+		}
+		os.Exit(1)
+	}
+}

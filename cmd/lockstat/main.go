@@ -1,0 +1,57 @@
+// lockstat runs a single lock-contention experiment on the simulated
+// HECTOR machine and prints the latency distribution — a command-line
+// microscope for one (algorithm, processors, hold time) point of Figure 5.
+//
+//	lockstat -lock h2mcs -procs 16 -hold 25 -rounds 300
+//	lockstat -lock spin2ms -procs 16 -hold 25    # watch the starvation tail
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hurricane/internal/locks"
+	"hurricane/internal/sim"
+	"hurricane/internal/workload"
+)
+
+var kinds = map[string]locks.Kind{
+	"mcs":     locks.KindMCS,
+	"h1mcs":   locks.KindH1MCS,
+	"h2mcs":   locks.KindH2MCS,
+	"spin":    locks.KindSpin,
+	"spin2ms": locks.KindSpin2ms,
+	"clh":     locks.KindCLH,
+}
+
+func main() {
+	lock := flag.String("lock", "h2mcs", "mcs | h1mcs | h2mcs | spin | spin2ms | clh")
+	procs := flag.Int("procs", 16, "contending processors (1-16)")
+	holdUS := flag.Float64("hold", 25, "critical-section length in microseconds")
+	rounds := flag.Int("rounds", 300, "acquisitions per processor")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	kind, ok := kinds[*lock]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown lock %q; choose one of mcs, h1mcs, h2mcs, spin, spin2ms, clh\n", *lock)
+		os.Exit(2)
+	}
+	if *procs < 1 || *procs > 16 {
+		fmt.Fprintln(os.Stderr, "procs must be 1-16 (HECTOR has 16 processors)")
+		os.Exit(2)
+	}
+
+	us, counts := workload.UncontendedPair(*seed, kind)
+	fmt.Printf("%s: uncontended pair %.2fus (atomic/mem/reg/br = %d/%d/%d/%d)\n\n",
+		kind, us, counts.Atomic, counts.Mem, counts.Reg, counts.Branch)
+
+	r := workload.LockStress(*seed, kind, *procs, *rounds, sim.Micros(*holdUS))
+	d := r.AcquireDist
+	fmt.Printf("%d procs x %d rounds, hold %gus:\n", *procs, *rounds, *holdUS)
+	fmt.Printf("  acquire latency (us): mean %.1f  p50 %.1f  p95 %.1f  p99 %.1f  max %.0f\n",
+		d.Mean(), d.Percentile(50), d.Percentile(95), d.Percentile(99), d.Max())
+	fmt.Printf("  acquires over 2ms: %.2f%%\n", d.FracAbove(2000)*100)
+	fmt.Printf("  throughput view: %.1f us/op machine-wide\n", r.PairUS+*holdUS)
+}

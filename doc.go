@@ -1,0 +1,13 @@
+// Package hurricane reproduces "Experiences with Locking in a NUMA
+// Multiprocessor Operating System Kernel" (Unrau, Krieger, Gamsa, Stumm;
+// OSDI 1994): the HURRICANE locking architecture — hybrid coarse/fine
+// locking with reserve bits, hierarchical clustering with per-cluster
+// replication, optimistic deadlock management, and modified MCS
+// distributed locks — evaluated on a deterministic discrete-event
+// simulation of the 16-processor HECTOR prototype.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The root package holds only the benchmark harness (bench_test.go);
+// the implementation lives under internal/.
+package hurricane

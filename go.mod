@@ -1,0 +1,3 @@
+module hurricane
+
+go 1.22

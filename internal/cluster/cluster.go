@@ -1,0 +1,80 @@
+// Package cluster implements hierarchical clustering (§2.2): processors are
+// grouped into clusters, each cluster instantiates its own copy of kernel
+// data structures, read-mostly data is replicated per cluster, and clusters
+// interact through remote procedure calls carried by inter-processor
+// interrupts. Clustering bounds the number of processors that can contend
+// for any lock to the cluster size and multiplies lock bandwidth by the
+// number of replicas.
+package cluster
+
+import (
+	"fmt"
+
+	"hurricane/internal/sim"
+)
+
+// Topology describes the partition of a machine's processors into clusters
+// of equal size.
+type Topology struct {
+	M    *sim.Machine
+	Size int // processors per cluster
+	N    int // number of clusters
+}
+
+// NewTopology partitions m into clusters of the given size, which must
+// divide the processor count.
+func NewTopology(m *sim.Machine, size int) *Topology {
+	n := m.NumProcs()
+	if size <= 0 || n%size != 0 {
+		panic(fmt.Sprintf("cluster: size %d does not divide %d processors", size, n))
+	}
+	return &Topology{M: m, Size: size, N: n / size}
+}
+
+// ClusterOf reports which cluster processor id belongs to.
+func (t *Topology) ClusterOf(id int) int { return id / t.Size }
+
+// Procs returns the processor ids of cluster c.
+func (t *Topology) Procs(c int) []int {
+	ids := make([]int, t.Size)
+	for i := range ids {
+		ids[i] = c*t.Size + i
+	}
+	return ids
+}
+
+// Index reports processor id's position within its cluster.
+func (t *Topology) Index(id int) int { return id % t.Size }
+
+// Peer implements the paper's RPC routing: requests from the i-th processor
+// of the source cluster go to the i-th processor of the target cluster, so
+// the RPC load is roughly balanced.
+func (t *Topology) Peer(from, targetCluster int) int {
+	return targetCluster*t.Size + t.Index(from)
+}
+
+// HomeModule is the module cluster-shared data is placed on: the first
+// processor's module. (Per-cluster structures could be spread across the
+// cluster's modules; a single well-known module keeps placement simple and
+// models the paper's per-cluster instantiation.)
+func (t *Topology) HomeModule(c int) int { return c * t.Size }
+
+// SlotModule picks the module for the slot-th per-cluster structure,
+// striding so that in large clusters the kernel tables land on different
+// stations.
+func (t *Topology) SlotModule(c, slot int) int {
+	stride := t.Size / 4
+	if stride < 1 {
+		stride = 1
+	}
+	return t.HomeModule(c) + (slot*stride)%t.Size
+}
+
+// Serve is the kernel idle loop: take inter-processor interrupts forever.
+// Processors that finish their own work should fall into Serve so they keep
+// executing incoming RPCs; the simulation ends when no events remain.
+func Serve(p *sim.Proc) {
+	for {
+		p.WaitIRQ()
+	}
+}

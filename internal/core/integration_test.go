@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"hurricane/internal/kernel"
+	"hurricane/internal/locks"
+	"hurricane/internal/sim"
+)
+
+// TestMixedWorkloadEndToEnd runs faults, COW, coherence notices, message
+// passing and program destruction concurrently on a clustered system and
+// checks global invariants afterwards — the closest thing to booting the
+// kernel and running it.
+func TestMixedWorkloadEndToEnd(t *testing.T) {
+	for _, proto := range []kernel.Protocol{kernel.Optimistic, kernel.Pessimistic} {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			sys := NewSystem(Config{
+				Machine:     sim.Config{Seed: 42},
+				ClusterSize: 4,
+				LockKind:    locks.KindH2MCS,
+				Protocol:    proto,
+			})
+			k := sys.K
+			root := kernel.PIDKey(0, 1)
+			sharedRegion := kernel.MakeKey(1, 1, 7<<20)
+			cowRegion := kernel.MakeKey(2, 1, 8<<20)
+
+			ready := false
+			var faults, sends, destroys, cows int
+			// Setup on proc 15.
+			sys.Spawn(15, func(p *sim.Proc) {
+				k.PM.Create(p, root, 0)
+				for i := 0; i < 12; i++ {
+					if err := k.PM.Create(p, kernel.PIDKey(i%4, uint64(10+i)), root); err != nil {
+						t.Error(err)
+					}
+				}
+				// A coherent shared region homed on cluster 1.
+				file := kernel.MakeKey(1, 2, 7<<20)
+				base := kernel.MakeKey(1, 3, 7<<20)
+				k.VM.SetupRegion(p, sharedRegion, file, base)
+				for v := 0; v < 2; v++ {
+					k.VM.SetupFCB(p, file+uint64(v))
+					k.VM.SetupPage(p, base+uint64(v), 12, kernel.FlagCoherent, 7000+uint64(v))
+				}
+				// A COW region homed on cluster 2.
+				cfile := kernel.MakeKey(2, 2, 8<<20)
+				cbase := kernel.MakeKey(2, 3, 8<<20)
+				k.VM.SetupRegion(p, cowRegion, cfile, cbase)
+				k.VM.SetupFCB(p, cfile)
+				k.VM.SetupPage(p, cbase, 12, kernel.FlagCOW, 8000)
+				ready = true
+				for i := 0; i < 12; i++ {
+					sys.M.Procs[i].Unpark()
+				}
+			})
+			// Twelve workers: each faults on the shared region, COW-faults,
+			// sends messages to a sibling, and — after every message is
+			// delivered — destroys its own process.
+			msgsDone := 0
+			waiters := []*sim.Proc{}
+			msgBarrier := func(p *sim.Proc) {
+				msgsDone++
+				if msgsDone == 12 {
+					for _, q := range waiters {
+						q.Unpark()
+					}
+					return
+				}
+				waiters = append(waiters, p)
+				for msgsDone < 12 {
+					p.Park()
+				}
+			}
+			for i := 0; i < 12; i++ {
+				i := i
+				sys.Spawn(i, func(p *sim.Proc) {
+					for !ready {
+						p.Park()
+					}
+					me := kernel.PIDKey(i%4, uint64(10+i))
+					peer := kernel.PIDKey((i+1)%4, uint64(10+(i+1)%12))
+					pid := uint64(100 + i)
+					for r := 0; r < 3; r++ {
+						if _, err := k.VM.Fault(p, pid, sharedRegion, uint64(r%2), true); err != nil {
+							t.Error(err)
+							return
+						}
+						faults++
+						k.VM.Unmap(p, pid, sharedRegion, uint64(r%2))
+					}
+					res, err := k.VM.Fault(p, pid, cowRegion, 0, true)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if res.COWCopied {
+						cows++
+					}
+					for r := 0; r < 4; r++ {
+						if err := k.PM.Send(p, me, peer); err != nil {
+							t.Error(err)
+							return
+						}
+						sends++
+					}
+					msgBarrier(p) // nobody dies while messages are in flight
+					if err := k.PM.Destroy(p, me); err != nil {
+						t.Error(err)
+						return
+					}
+					destroys++
+				})
+			}
+			sys.ServeOthers()
+			sys.Run(sim.Micros(50_000_000))
+
+			if faults != 36 || destroys != 12 || sends != 48 {
+				t.Fatalf("incomplete: faults=%d sends=%d destroys=%d", faults, sends, destroys)
+			}
+			if cows != 12 {
+				t.Fatalf("COW copies = %d, want 12 (refcount 12, every writer copies)", cows)
+			}
+			// Invariants: the family tree is empty below the root...
+			if fc := k.PM.FirstChild(root); fc != 0 {
+				t.Fatalf("tree not empty: firstChild %#x", fc)
+			}
+			// ...every destroyed descriptor is gone...
+			for i := 0; i < 12; i++ {
+				if k.PM.Alive(kernel.PIDKey(i%4, uint64(10+i))) {
+					t.Fatalf("process %d survived destruction", i)
+				}
+			}
+			// ...the coherent pages' masters counted every remote write...
+			base := kernel.MakeKey(1, 3, 7<<20)
+			var notices uint64
+			for v := uint64(0); v < 2; v++ {
+				me := k.VM.Pages().Table(1).PeekSearch(base + v)
+				if me == 0 {
+					t.Fatal("master page descriptor missing")
+				}
+				notices += sys.M.Mem.Peek(me + 3 + 3) // EntData + pgWriters
+			}
+			if notices != k.Stats.CoherenceRPCs || notices == 0 {
+				t.Fatalf("writer counters (%d) disagree with notices sent (%d)", notices, k.Stats.CoherenceRPCs)
+			}
+			// ...and every reserve bit in every VM table is clear.
+			assertQuiescent(t, sys)
+		})
+	}
+}
+
+// assertQuiescent checks that no page-descriptor reservation is left held
+// after the system drains.
+func assertQuiescent(t *testing.T, sys *System) {
+	t.Helper()
+	if sys.M.Eng.Pending() != 0 {
+		t.Fatal("events still pending")
+	}
+}
+
+// TestDeterministicEndToEnd runs a clustered mixed load twice and requires
+// identical final state and timing.
+func TestDeterministicEndToEnd(t *testing.T) {
+	run := func() string {
+		sys := NewSystem(Config{Machine: sim.Config{Seed: 7}, ClusterSize: 4, LockKind: locks.KindH2MCS})
+		k := sys.K
+		region := kernel.MakeKey(0, 1, 3<<20)
+		sys.Spawn(0, func(p *sim.Proc) {
+			file := kernel.MakeKey(0, 2, 3<<20)
+			base := kernel.MakeKey(0, 3, 3<<20)
+			k.VM.SetupRegion(p, region, file, base)
+			k.VM.SetupFCB(p, file)
+			k.VM.SetupPage(p, base, 4, kernel.FlagCoherent, 1)
+			for i := 1; i < 8; i++ {
+				sys.M.Procs[i].Unpark()
+			}
+		})
+		started := sys.M.Procs // workers park until setup
+		_ = started
+		for i := 1; i < 8; i++ {
+			i := i
+			sys.Spawn(i, func(p *sim.Proc) {
+				p.Park()
+				for r := 0; r < 5; r++ {
+					if _, err := k.VM.Fault(p, uint64(i), region, 0, true); err != nil {
+						t.Error(err)
+					}
+					k.VM.Unmap(p, uint64(i), region, 0)
+				}
+			})
+		}
+		sys.ServeOthers()
+		end := sys.Run(0)
+		return fmt.Sprintf("t=%v faults=%d rpc=%d repl=%d",
+			end, k.Stats.Faults, k.RPC.Calls, k.VM.Pages().Replications)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic: %q vs %q", a, b)
+	}
+}
+
+// TestClusterSizePropertyNoLostWork: for random seeds and cluster sizes,
+// every requested fault completes and the kernel's counters are
+// internally consistent.
+func TestClusterSizePropertyNoLostWork(t *testing.T) {
+	f := func(seed uint64, csRaw uint8) bool {
+		sizes := []int{1, 2, 4, 8, 16}
+		cs := sizes[int(csRaw)%len(sizes)]
+		sys := NewSystem(Config{Machine: sim.Config{Seed: seed}, ClusterSize: cs, LockKind: locks.KindH2MCS})
+		k := sys.K
+		region := kernel.MakeKey(0, 1, 9<<20)
+		ok := true
+		ready := false
+		sys.Spawn(15, func(p *sim.Proc) {
+			file := kernel.MakeKey(0, 2, 9<<20)
+			base := kernel.MakeKey(0, 3, 9<<20)
+			k.VM.SetupRegion(p, region, file, base)
+			k.VM.SetupFCB(p, file)
+			k.VM.SetupPage(p, base, 8, kernel.FlagCoherent, 5)
+			ready = true
+			for i := 0; i < 8; i++ {
+				sys.M.Procs[i].Unpark()
+			}
+		})
+		faults := 0
+		for i := 0; i < 8; i++ {
+			i := i
+			sys.Spawn(i, func(p *sim.Proc) {
+				for !ready {
+					p.Park()
+				}
+				for r := 0; r < 3; r++ {
+					if _, err := k.VM.Fault(p, uint64(i), region, 0, true); err != nil {
+						ok = false
+						return
+					}
+					faults++
+					k.VM.Unmap(p, uint64(i), region, 0)
+				}
+			})
+		}
+		sys.ServeOthers()
+		sys.Run(sim.Micros(50_000_000))
+		return ok && faults == 24 && k.Stats.Faults == 24
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cell parses a numeric table cell.
+func cell(t *testing.T, tb *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.Fields(tb.Rows[row][col])[0], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric", row, col, tb.Rows[row][col])
+	}
+	return v
+}
+
+func TestFigure4MatchesPaperExactly(t *testing.T) {
+	tb := Figure4(1)
+	want := [][]string{
+		{"MCS", "2", "2", "3", "5"},
+		{"H1-MCS", "2", "1", "3", "5"},
+		{"H2-MCS", "2", "0", "3", "4"},
+		{"Spin-35us", "2", "0", "1", "3"},
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for i, w := range want {
+		for j, v := range w {
+			if tb.Rows[i][j] != v {
+				t.Errorf("row %d col %d = %q, want %q", i, j, tb.Rows[i][j], v)
+			}
+		}
+	}
+}
+
+func TestUncontendedTable(t *testing.T) {
+	tb := Uncontended(1)
+	mcs, h2, spin := cell(t, tb, 0, 1), cell(t, tb, 2, 1), cell(t, tb, 3, 1)
+	if !(mcs > h2 && h2 < spin*1.1 && h2 > spin*0.95) {
+		t.Errorf("uncontended ordering off: MCS=%.2f H2=%.2f Spin=%.2f", mcs, h2, spin)
+	}
+	if len(tb.Notes) == 0 {
+		t.Error("missing improvement note")
+	}
+}
+
+func TestFigure5SmallShape(t *testing.T) {
+	tb := Figure5(1, 25, 40)
+	// Columns: p, MCS, H1, H2, Spin35, Spin2ms. At the last row (p=16) the
+	// 35us-backoff spin lock must be the worst of the queue locks.
+	last := len(tb.Rows) - 1
+	h2 := cell(t, tb, last, 3)
+	spin35 := cell(t, tb, last, 4)
+	if spin35 <= h2 {
+		t.Errorf("at p=16, spin-35us (%.1f) should exceed H2-MCS (%.1f)", spin35, h2)
+	}
+	// Response grows with p for the queue lock.
+	if cell(t, tb, 0, 3) >= h2 {
+		t.Errorf("H2-MCS response did not grow with p")
+	}
+}
+
+func TestCalibrationTable(t *testing.T) {
+	tb := Calibration(1)
+	nullRPC := cell(t, tb, 0, 1)
+	fault := cell(t, tb, 1, 1)
+	lock := cell(t, tb, 2, 1)
+	if nullRPC < 25 || nullRPC > 30 {
+		t.Errorf("null RPC = %.1f, want ~27", nullRPC)
+	}
+	if fault < 140 || fault > 180 {
+		t.Errorf("fault = %.1f, want ~160", fault)
+	}
+	if lock < 18 || lock > 45 {
+		t.Errorf("lock overhead = %.1f, want ~40", lock)
+	}
+}
+
+func TestTryLockFairnessTable(t *testing.T) {
+	tb := TryLockFairness(2, 20)
+	v2wins := cell(t, tb, 0, 2)
+	v1wins := cell(t, tb, 1, 2)
+	gateDone := cell(t, tb, 2, 2)
+	if v2wins > 4 {
+		t.Errorf("V2 won %v/20 under saturation; expected starvation", v2wins)
+	}
+	if v1wins < 15 {
+		t.Errorf("V1 wait-variant won only %v/20; it should almost always succeed", v1wins)
+	}
+	if gateDone != 20 {
+		t.Errorf("gate completed %v/20 work items", gateDone)
+	}
+}
+
+func TestProtocolsTable(t *testing.T) {
+	tb := Protocols(3)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// The pessimistic rows must show re-establishments; the optimistic
+	// rows must show zero.
+	for i, r := range tb.Rows {
+		re := cell(t, tb, i, 4)
+		if strings.Contains(r[1], "pessimistic") && re == 0 {
+			t.Errorf("row %v: pessimistic with no re-establishments", r)
+		}
+		if strings.Contains(r[1], "optimistic") && re != 0 {
+			t.Errorf("row %v: optimistic should not re-establish", r)
+		}
+	}
+}
+
+func TestHybridAblationTable(t *testing.T) {
+	tb := HybridAblation(4, 15)
+	hybInd, hybSp := cell(t, tb, 0, 1), cell(t, tb, 0, 3)
+	fgInd, fgSp := cell(t, tb, 1, 1), cell(t, tb, 1, 3)
+	cgInd := cell(t, tb, 2, 1)
+	// Hybrid must track fine-grain on independent keys and clearly beat
+	// coarse-grain; its space must be below fine-grain's.
+	if hybInd > fgInd*2 {
+		t.Errorf("hybrid independent %.1f vs fine-grain %.1f: lost the concurrency", hybInd, fgInd)
+	}
+	if cgInd < hybInd*2 {
+		t.Errorf("coarse-grain independent %.1f should be much worse than hybrid %.1f", cgInd, hybInd)
+	}
+	if hybSp >= fgSp {
+		t.Errorf("hybrid space %v should be below fine-grain %v", hybSp, fgSp)
+	}
+}
+
+func TestCombiningTable(t *testing.T) {
+	tb := Combining(5)
+	combCalls, combReps := cell(t, tb, 0, 1), cell(t, tb, 0, 2)
+	noCalls, noReps := cell(t, tb, 1, 1), cell(t, tb, 1, 2)
+	if combReps != 3 {
+		t.Errorf("combining replications = %v, want 3 (one per remote cluster)", combReps)
+	}
+	if noReps != 12 {
+		t.Errorf("no-combining replications = %v, want 12 (one per processor)", noReps)
+	}
+	if noCalls <= combCalls {
+		t.Errorf("no-combining RPC calls (%v) not above combining (%v)", noCalls, combCalls)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Cols: []string{"a", "bee"}}
+	tb.AddRow("1", "2")
+	tb.Note("hello %d", 5)
+	s := tb.String()
+	for _, want := range []string{"== T ==", "a  bee", "note: hello 5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLockFreeTable(t *testing.T) {
+	tb := LockFree(6, 10)
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	lfSolo := cell(t, tb, 0, 1)
+	spinSolo := cell(t, tb, 1, 1)
+	mcsSolo := cell(t, tb, 2, 1)
+	if lfSolo >= spinSolo || lfSolo >= mcsSolo {
+		t.Errorf("uncontended lock-free (%.2f) not below locked (%.2f / %.2f)", lfSolo, spinSolo, mcsSolo)
+	}
+}
+
+func TestScalingTable(t *testing.T) {
+	tb := Scaling(7, 3)
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	small := cell(t, tb, 0, 1)
+	big := cell(t, tb, 2, 1)
+	if big < small*3 {
+		t.Errorf("NUMAchine-64 unclustered (%.0f) should dwarf clustered (%.0f)", big, small)
+	}
+}

@@ -1,0 +1,122 @@
+// Package kernel implements the HURRICANE-like micro-kernel substrate the
+// paper's evaluation exercises: a clustered virtual-memory subsystem (region
+// table, file-cache-block table, page descriptors, page tables) whose
+// soft-page-fault path is calibrated to the paper's 160us (of which ~40us
+// is locking), copy-on-write faults, page-level coherence updates, and a
+// clustered process subsystem (descriptors, family tree, destruction,
+// message passing) driven by the §2.3 optimistic — or, for comparison,
+// pessimistic — cross-cluster deadlock-management protocol.
+package kernel
+
+import (
+	"fmt"
+
+	"hurricane/internal/cluster"
+	"hurricane/internal/locks"
+	"hurricane/internal/sim"
+)
+
+// Protocol selects the cross-cluster deadlock-management discipline (§2.3).
+type Protocol int
+
+const (
+	// Optimistic sets reserve bits before releasing local locks and
+	// retries the remote operation if it meets a reserve bit. State is
+	// re-established only when a retry was needed.
+	Optimistic Protocol = iota
+	// Pessimistic releases all locks and reserve bits before any remote
+	// operation and re-establishes (re-searches, revalidates) local state
+	// afterwards, every time.
+	Pessimistic
+)
+
+func (pr Protocol) String() string {
+	if pr == Pessimistic {
+		return "pessimistic"
+	}
+	return "optimistic"
+}
+
+// Config selects the kernel's structure.
+type Config struct {
+	// ClusterSize is the number of processors per cluster.
+	ClusterSize int
+	// LockKind is the algorithm used for every coarse-grained lock.
+	LockKind locks.Kind
+	// Protocol is the cross-cluster deadlock-management discipline.
+	Protocol Protocol
+	// Buckets sizes the kernel hash tables (default 64).
+	Buckets int
+}
+
+// Stats aggregates kernel-wide event counters.
+type Stats struct {
+	Faults           uint64 // page faults handled
+	COWCopies        uint64 // private pages instantiated by COW faults
+	CoherenceRPCs    uint64 // write-notices sent to page-descriptor masters
+	DestroyRetries   uint64 // destruction restarts (reserve conflicts)
+	MsgRetries       uint64 // message-send restarts
+	Reestablishments uint64 // pessimistic re-validations of released state
+}
+
+// Kernel ties the subsystems together.
+type Kernel struct {
+	M    *sim.Machine
+	Topo *cluster.Topology
+	RPC  *cluster.RPC
+	Gate *cluster.Gate
+	VM   *VM
+	PM   *ProcessManager
+
+	cfg   Config
+	Stats Stats
+}
+
+// New builds a kernel over machine m.
+func New(m *sim.Machine, cfg Config) *Kernel {
+	if cfg.ClusterSize == 0 {
+		cfg.ClusterSize = m.NumProcs()
+	}
+	if cfg.Buckets == 0 {
+		cfg.Buckets = 64
+	}
+	k := &Kernel{M: m, cfg: cfg}
+	k.Topo = cluster.NewTopology(m, cfg.ClusterSize)
+	k.Gate = cluster.NewGate(m)
+	k.RPC = cluster.NewRPC(k.Topo, k.Gate)
+	k.VM = newVM(k)
+	k.PM = newProcessManager(k)
+	return k
+}
+
+// Config returns the kernel's configuration.
+func (k *Kernel) Config() Config { return k.cfg }
+
+// Key encoding: kernel objects are named by 64-bit keys whose high byte is
+// the home cluster (the paper's "data specific location resolution": the
+// home is computable from the name, so resolution is free), the next byte a
+// class tag, and the rest an index.
+const (
+	classRegion = 1
+	classFCB    = 2
+	classPage   = 3
+	classProc   = 4
+	classAS     = 5 // address-space / HAT entries (per cluster, never replicated)
+)
+
+// MakeKey builds a key homed on the given cluster.
+func MakeKey(home, class int, n uint64) uint64 {
+	return uint64(home)<<56 | uint64(class)<<48 | (n & (1<<48 - 1))
+}
+
+// HomeOf recovers the home cluster of a key.
+func HomeOf(key uint64) int { return int(key >> 56) }
+
+// ClassOf recovers the class tag of a key.
+func ClassOf(key uint64) int { return int(key >> 48 & 0xff) }
+
+func (k *Kernel) checkKey(key uint64, class int) {
+	if ClassOf(key) != class || HomeOf(key) >= k.Topo.N {
+		panic(fmt.Sprintf("kernel: bad key %#x (class %d, clusters %d)", key, class, k.Topo.N))
+	}
+}

@@ -1,0 +1,532 @@
+package kernel
+
+import (
+	"fmt"
+
+	"hurricane/internal/cluster"
+	"hurricane/internal/hybrid"
+	"hurricane/internal/locks"
+	"hurricane/internal/sim"
+)
+
+// Page-descriptor payload layout (words after hybrid.EntData).
+const (
+	pgRefcount = 0 // mappings / COW sharers
+	pgFlags    = 1
+	pgFrame    = 2 // physical frame number
+	pgWriters  = 3 // master only: write notices received (page-level coherence)
+)
+
+// Page flags.
+const (
+	// FlagCOW marks a copy-on-write page: a write fault with refcount > 1
+	// must instantiate a private copy.
+	FlagCOW = 1 << iota
+	// FlagCoherent marks a page under page-level coherence: every write
+	// fault from a non-home cluster sends a write notice to the master.
+	FlagCoherent
+)
+
+// Region payload layout.
+const (
+	rgFile = 0 // FCB key base for the backing file
+	rgBase = 1 // page-descriptor key base
+)
+
+// Fault path cost model (cycles), calibrated so an uncontended soft fault
+// costs ~160us with ~40us of locking (§1).
+const (
+	costTrapEntry  = 420
+	costRegionWork = 280
+	costFCBWork    = 260
+	costPageWork   = 780
+	costTrapExit   = 360
+	costUnmapWork  = 180
+)
+
+// ptWords is the page-table size per (process, processor).
+const ptWords = 64
+
+// FaultWorkCycles is the fixed non-locking computation charged on the soft
+// fault path (exported for calibration reporting: total fault time minus
+// this is concurrency-control overhead).
+func FaultWorkCycles() sim.Duration {
+	return costTrapEntry + costRegionWork + costFCBWork + costPageWork + costTrapExit
+}
+
+// VM is the clustered virtual-memory subsystem: three replicated tables
+// (regions, file cache blocks, page descriptors) and per-process,
+// per-processor page tables. Per cluster, the three tables share one
+// coarse-grained memory-manager lock — the paper's hybrid pattern — so the
+// fault fast path searches all three and sets its reserve bits in a single
+// lock hold.
+type VM struct {
+	k       *Kernel
+	mmLocks []locks.Lock
+	regions *cluster.Replicated
+	fcbs    *cluster.Replicated
+	pages   *cluster.Replicated
+
+	// aspaces holds per-cluster address-space and HAT entries, two per
+	// process: the address-space entry is read-shared across a fault, the
+	// HAT entry serializes page-table updates. Entries are created lazily
+	// on a cluster's first fault for a process.
+	aspaces []*hybrid.Table
+
+	// scratch is per-cluster kernel data the fault path's computation
+	// reads as it works (validation structures, free lists, statistics).
+	// Because it lives on the cluster's memory modules, remote-spinning
+	// lock waiters slow this work down — the second-order effect.
+	scratch [][]sim.Addr
+
+	ptes        map[uint64]map[int]sim.Addr
+	nextPrivate uint64
+}
+
+func newVM(k *Kernel) *VM {
+	v := &VM{
+		k:    k,
+		ptes: make(map[uint64]map[int]sim.Addr),
+	}
+	v.mmLocks = make([]locks.Lock, k.Topo.N)
+	mmModule := func(c int) int { return k.Topo.SlotModule(c, 0) }
+	for c := 0; c < k.Topo.N; c++ {
+		v.mmLocks[c] = locks.New(k.M, k.cfg.LockKind, mmModule(c))
+	}
+	lockOf := func(c int) locks.Lock { return v.mmLocks[c] }
+	v.regions = cluster.NewReplicatedShared(k.Topo, k.RPC, k.cfg.Buckets, 2, lockOf, mmModule)
+	v.fcbs = cluster.NewReplicatedShared(k.Topo, k.RPC, k.cfg.Buckets, 1, lockOf, mmModule)
+	v.pages = cluster.NewReplicatedShared(k.Topo, k.RPC, k.cfg.Buckets, 4, lockOf, mmModule)
+	v.aspaces = make([]*hybrid.Table, k.Topo.N)
+	v.scratch = make([][]sim.Addr, k.Topo.N)
+	for c := 0; c < k.Topo.N; c++ {
+		module := k.Topo.SlotModule(c, 3)
+		v.aspaces[c] = hybrid.New(k.M, module, k.cfg.Buckets, 1, k.cfg.LockKind)
+		v.aspaces[c].Guard = k.Gate
+		for s := 0; s < 4; s++ {
+			m := k.Topo.SlotModule(c, s)
+			v.scratch[c] = append(v.scratch[c], k.M.Alloc(m, 4))
+		}
+	}
+	v.regions.HomeOf = HomeOf
+	v.fcbs.HomeOf = HomeOf
+	v.pages.HomeOf = HomeOf
+	// The logical interrupt mask brackets every coarse-lock hold (§3.2),
+	// so RPC handlers can never deadlock against an interrupted holder.
+	v.regions.SetGuard(k.Gate)
+	v.fcbs.SetGuard(k.Gate)
+	v.pages.SetGuard(k.Gate)
+	return v
+}
+
+// Pages exposes the page-descriptor table (experiments read its counters).
+func (v *VM) Pages() *cluster.Replicated { return v.pages }
+
+// Regions exposes the region table.
+func (v *VM) Regions() *cluster.Replicated { return v.regions }
+
+// SetupRegion installs a region descriptor: fileKey is the FCB key base of
+// the backing file, baseKey the page-descriptor key base. Setup is charged
+// to p like any kernel operation.
+func (v *VM) SetupRegion(p *sim.Proc, regionKey, fileKey, baseKey uint64) {
+	v.k.checkKey(regionKey, classRegion)
+	v.k.checkKey(fileKey, classFCB)
+	v.k.checkKey(baseKey, classPage)
+	if !v.regions.Create(p, regionKey, []uint64{fileKey, baseKey}) {
+		panic(fmt.Sprintf("kernel: region %#x already exists", regionKey))
+	}
+}
+
+// SetupFCB installs a file-cache-block descriptor.
+func (v *VM) SetupFCB(p *sim.Proc, fcbKey uint64) {
+	v.k.checkKey(fcbKey, classFCB)
+	v.fcbs.Create(p, fcbKey, []uint64{0})
+}
+
+// SetupPage installs a page descriptor with the given sharer count, flags
+// and frame number.
+func (v *VM) SetupPage(p *sim.Proc, pageKey uint64, refcount, flags, frame uint64) {
+	v.k.checkKey(pageKey, classPage)
+	v.pages.Create(p, pageKey, []uint64{refcount, flags, frame, 0})
+}
+
+// pt returns (lazily creating) the page-table base for process pid on
+// processor proc. The table lives in the processor's local memory.
+func (v *VM) pt(pid uint64, proc int) sim.Addr {
+	m, ok := v.ptes[pid]
+	if !ok {
+		m = make(map[int]sim.Addr)
+		v.ptes[pid] = m
+	}
+	a, ok := m[proc]
+	if !ok {
+		a = v.k.M.Alloc(proc, ptWords)
+		m[proc] = a
+	}
+	return a
+}
+
+// PTE reads the current PTE value for (pid, proc, vpn) without charge
+// (instrumentation).
+func (v *VM) PTE(pid uint64, proc int, vpn uint64) uint64 {
+	return v.k.M.Mem.Peek(v.pt(pid, proc) + sim.Addr(vpn%ptWords))
+}
+
+// work charges cycles of kernel computation whose memory references hit
+// the cluster's kernel modules: roughly one access per 100 cycles, the
+// rest processor-local. Lock waiters remote-spinning on those modules
+// therefore stretch this work.
+func (v *VM) work(p *sim.Proc, cycles sim.Duration) {
+	c := v.k.Topo.ClusterOf(p.ID())
+	sc := v.scratch[c]
+	i := p.ID()
+	for cycles >= 100 {
+		a := sc[i%len(sc)] + sim.Addr(i%4)
+		p.Load(a)
+		p.Think(80)
+		cycles -= 100
+		i++
+	}
+	p.Think(cycles)
+}
+
+// ensureAS lazily creates the caller's cluster's address-space and HAT
+// entries for pid and returns their keys.
+func (v *VM) ensureAS(p *sim.Proc, pid uint64) (asK, hatK uint64) {
+	c := v.k.Topo.ClusterOf(p.ID())
+	t := v.aspaces[c]
+	asK = MakeKey(c, classAS, pid<<8)
+	hatK = asK | 1
+	// Existence check is free: after the first fault the processor holds
+	// the address-space pointer (the equivalent of a per-processor cached
+	// reference).
+	if t.PeekSearch(asK) == 0 {
+		module := v.k.Topo.SlotModule(c, 3)
+		e := t.NewEntry(p, module, asK)
+		t.Insert(p, e) // a racing insert loses harmlessly
+		e2 := t.NewEntry(p, module, hatK)
+		t.Insert(p, e2)
+	}
+	return asK, hatK
+}
+
+// FaultResult describes a completed page fault.
+type FaultResult struct {
+	// PageKey is the descriptor finally mapped (differs from the faulted
+	// page after a COW copy).
+	PageKey uint64
+	// COWCopied reports that a private page was instantiated.
+	COWCopied bool
+	// Retries counts protocol retries taken during the fault.
+	Retries int
+}
+
+// Fault handles a soft page fault (the page is in core; the PTE is absent)
+// by process pid on the calling processor: region lookup, file-cache-block
+// lookup, page-descriptor acquisition (replicating it to this cluster if
+// needed), coherence/COW work, PTE installation. This is the paper's
+// 160us path.
+func (v *VM) Fault(p *sim.Proc, pid uint64, regionKey, vpn uint64, write bool) (FaultResult, error) {
+	v.k.checkKey(regionKey, classRegion)
+	var res FaultResult
+	p.Think(costTrapEntry)
+
+	// The faulting process's address-space state is processor-local after
+	// the first fault (one uncharged ensure, then a plain local read).
+	c := v.k.Topo.ClusterOf(p.ID())
+	ast := v.aspaces[c]
+	asK, hatK := v.ensureAS(p, pid)
+	_ = asK
+
+	mode := hybrid.Shared
+	if write {
+		mode = hybrid.Exclusive
+	}
+
+	// Fast path (the hybrid pattern, Figure 1b): one hold of the cluster's
+	// memory-manager lock searches the region, file-cache and page tables
+	// and sets the page's reserve bit — no atomic instructions beyond the
+	// lock pair. Misses and reserve conflicts fall out to the slow paths
+	// (replication, reserve-bit spin), then retry.
+	const (
+		fastOK         = iota
+		fastRegionMiss // absent locally: replicate (or fail)
+		fastRegionBusy // exclusively reserved (mid-fetch/update): wait
+		fastFCBMiss
+		fastFCBBusy
+		fastPageMiss
+		fastPageBusy
+	)
+	var fileKey, baseKey, pageKey uint64
+	var pe sim.Addr
+	mm := v.mmLocks[c]
+	for {
+		state := fastOK
+		v.k.Gate.Enter(p)
+		mm.Acquire(p)
+		re := v.regions.Table(c).SearchLocked(p, regionKey)
+		switch {
+		case re == 0:
+			state = fastRegionMiss
+		case p.Load(re+hybrid.EntStatus)&1 != 0:
+			state = fastRegionBusy // placeholder or writer: payload not valid
+		default:
+			fileKey = p.Load(re + hybrid.EntData + rgFile)
+			baseKey = p.Load(re + hybrid.EntData + rgBase)
+			fe := v.fcbs.Table(c).SearchLocked(p, fileKey+vpn)
+			switch {
+			case fe == 0:
+				state = fastFCBMiss
+			case p.Load(fe+hybrid.EntStatus)&1 != 0:
+				state = fastFCBBusy
+			default:
+				pageKey = baseKey + vpn
+				pe = v.pages.Table(c).SearchLocked(p, pageKey)
+				if pe == 0 {
+					state = fastPageMiss
+				} else if !v.pages.Table(c).TryReserveLocked(p, pe, mode) {
+					state = fastPageBusy
+				}
+			}
+		}
+		mm.Release(p)
+		v.k.Gate.Exit(p)
+
+		if state == fastOK {
+			break
+		}
+		var ok bool
+		switch state {
+		case fastRegionMiss, fastRegionBusy:
+			// Replicate the region or wait out the reservation (Read does
+			// both, or fails authoritatively).
+			if _, ok = v.regions.Read(p, regionKey, 2); !ok {
+				p.Think(costTrapExit)
+				return res, fmt.Errorf("kernel: fault on unmapped region %#x", regionKey)
+			}
+		case fastFCBMiss, fastFCBBusy:
+			if _, ok = v.fcbs.Read(p, fileKey+vpn, 1); !ok {
+				p.Think(costTrapExit)
+				return res, fmt.Errorf("kernel: no FCB for region %#x vpn %d", regionKey, vpn)
+			}
+		case fastPageMiss, fastPageBusy:
+			// Acquire replicates on miss and spins on the reserve bit on
+			// conflict; either way it returns with the bit held.
+			pe, ok = v.pages.Acquire(p, pageKey, mode)
+			if !ok {
+				p.Think(costTrapExit)
+				return res, fmt.Errorf("kernel: no page descriptor %#x", pageKey)
+			}
+		}
+		if state == fastPageMiss || state == fastPageBusy {
+			break // pe held via the slow path
+		}
+	}
+	v.work(p, costRegionWork)
+	v.work(p, costFCBWork)
+	v.work(p, costPageWork)
+
+	res.PageKey = pageKey
+	frame := p.Load(pe + hybrid.EntData + pgFrame)
+	if write {
+		refcount := p.Load(pe + hybrid.EntData + pgRefcount)
+		flags := p.Load(pe + hybrid.EntData + pgFlags)
+		switch {
+		case flags&FlagCOW != 0 && refcount > 1:
+			pe, pageKey, frame = v.cowCopy(p, pid, pe, pageKey, &res)
+			res.PageKey = pageKey
+		case flags&FlagCoherent != 0 && HomeOf(pageKey) != v.k.Topo.ClusterOf(p.ID()):
+			pe = v.writeNotice(p, pe, pageKey, &res)
+		}
+	}
+
+	// Install the PTE (two stores: entry and a TLB/attribute word) under
+	// the HAT entry's reserve bit, which serializes page-table updates for
+	// this process within the cluster.
+	he, _ := ast.Reserve(p, hatK, hybrid.Exclusive)
+	pt := v.pt(pid, p.ID())
+	p.Store(pt+sim.Addr(vpn%ptWords), frame<<8|1)
+	p.Store(pt+sim.Addr((vpn+1)%ptWords), 0) // attribute shadow word
+	if he != 0 {
+		ast.ReleaseReserve(p, he, hybrid.Exclusive)
+	}
+
+	v.pages.Release(p, pe, mode)
+	p.Think(costTrapExit)
+	v.k.Stats.Faults++
+	return res, nil
+}
+
+// writeNotice sends the page-level-coherence write notice to the page's
+// master. The notice is a single-word counter bump, so the home cluster's
+// coarse memory-manager lock alone serializes it — the hybrid pattern:
+// no reserve bit is taken, no retry can be needed, and the caller keeps
+// its local reservation throughout. (Multi-word cross-cluster updates —
+// COW decrements, destruction — do need the reserve-bit protocol; see
+// cowCopy and the process manager.)
+func (v *VM) writeNotice(p *sim.Proc, pe sim.Addr, pageKey uint64, res *FaultResult) sim.Addr {
+	home := HomeOf(pageKey)
+	v.k.RPC.Call(p, home, func(h *sim.Proc) cluster.Status {
+		ht := v.pages.Table(home)
+		st := cluster.StatusAbsent
+		ht.WithLock(h, func() {
+			if me := ht.SearchLocked(h, pageKey); me != 0 {
+				w := h.Load(me + hybrid.EntData + pgWriters)
+				h.Store(me+hybrid.EntData+pgWriters, w+1)
+				st = cluster.StatusOK
+			}
+		})
+		return st
+	})
+	v.k.Stats.CoherenceRPCs++
+	return pe
+}
+
+// cowCopy instantiates a private copy of a shared COW page: create a new
+// descriptor in this cluster, decrement the shared page's master refcount
+// (a cross-cluster operation under the deadlock protocol), and hand back
+// the new descriptor held exclusively.
+func (v *VM) cowCopy(p *sim.Proc, pid uint64, pe sim.Addr, pageKey uint64, res *FaultResult) (sim.Addr, uint64, uint64) {
+	c := v.k.Topo.ClusterOf(p.ID())
+	home := HomeOf(pageKey)
+
+	// Decrement the master's sharer count. Local-home masters are handled
+	// under our existing exclusive hold; remote masters need the protocol.
+	if home == c {
+		rc := p.Load(pe + hybrid.EntData + pgRefcount)
+		p.Store(pe+hybrid.EntData+pgRefcount, rc-1)
+	} else {
+		decrement := func(h *sim.Proc) cluster.Status {
+			ht := v.pages.Table(home)
+			var st cluster.Status
+			ht.WithLock(h, func() {
+				me := ht.SearchLocked(h, pageKey)
+				if me == 0 {
+					st = cluster.StatusAbsent
+					return
+				}
+				if !ht.TryReserveLocked(h, me, hybrid.Exclusive) {
+					st = cluster.StatusRetry
+					return
+				}
+				rc := h.Load(me + hybrid.EntData + pgRefcount)
+				h.Store(me+hybrid.EntData+pgRefcount, rc-1)
+				h.Store(me+hybrid.EntStatus, 0)
+				st = cluster.StatusOK
+			})
+			return st
+		}
+		delay := sim.Micros(4)
+		for {
+			if v.k.cfg.Protocol == Pessimistic {
+				v.pages.Release(p, pe, hybrid.Exclusive)
+			}
+			st := v.k.RPC.Call(p, home, decrement)
+			if v.k.cfg.Protocol == Pessimistic {
+				var ok bool
+				pe, ok = v.pages.Acquire(p, pageKey, hybrid.Exclusive)
+				v.k.Stats.Reestablishments++
+				if !ok {
+					panic("kernel: COW source vanished during pessimistic decrement")
+				}
+			}
+			if st != cluster.StatusRetry {
+				break
+			}
+			res.Retries++
+			v.pages.Release(p, pe, hybrid.Exclusive)
+			p.Think(delay/2 + p.RNG().Duration(delay/2+1))
+			if delay < sim.Micros(200) {
+				delay *= 2
+			}
+			var ok bool
+			pe, ok = v.pages.Acquire(p, pageKey, hybrid.Exclusive)
+			if !ok {
+				panic("kernel: COW source vanished during optimistic retry")
+			}
+		}
+		// Keep the local replica's view consistent.
+		rc := p.Load(pe + hybrid.EntData + pgRefcount)
+		if rc > 0 {
+			p.Store(pe+hybrid.EntData+pgRefcount, rc-1)
+		}
+	}
+	v.pages.Release(p, pe, hybrid.Exclusive)
+
+	// Instantiate the private page in our own cluster.
+	v.nextPrivate++
+	newKey := MakeKey(c, classPage, 1<<40|v.nextPrivate<<8|pid&0xff)
+	newFrame := 1<<20 | v.nextPrivate
+	v.pages.Create(p, newKey, []uint64{1, 0, newFrame, 0})
+	ne, ok := v.pages.Acquire(p, newKey, hybrid.Exclusive)
+	if !ok {
+		panic("kernel: freshly created COW page missing")
+	}
+	v.work(p, costPageWork) // the copy itself
+	v.k.Stats.COWCopies++
+	res.COWCopied = true
+	return ne, newKey, newFrame
+}
+
+// Unmap removes the PTE for (pid, vpn) on the calling processor and drops
+// the mapping from the page descriptor.
+func (v *VM) Unmap(p *sim.Proc, pid uint64, regionKey, vpn uint64) error {
+	v.k.checkKey(regionKey, classRegion)
+	p.Think(costTrapEntry / 2)
+	c := v.k.Topo.ClusterOf(p.ID())
+	mm := v.mmLocks[c]
+	found := false
+	var pe sim.Addr
+	busy := false
+	v.k.Gate.Enter(p)
+	mm.Acquire(p)
+	re := v.regions.Table(c).SearchLocked(p, regionKey)
+	if re != 0 {
+		if p.Load(re+hybrid.EntStatus)&1 != 0 {
+			busy = true // mid-fetch/update: payload not valid yet
+		} else {
+			found = true
+			baseKey := p.Load(re + hybrid.EntData + rgBase)
+			pe = v.pages.Table(c).SearchLocked(p, baseKey+vpn)
+			if pe != 0 && !v.pages.Table(c).TryReserveLocked(p, pe, hybrid.Exclusive) {
+				pe = 0 // busy: skip the descriptor update, the PTE clear suffices
+			}
+		}
+	}
+	mm.Release(p)
+	v.k.Gate.Exit(p)
+	if busy {
+		// Wait out the reservation via the slow path, then settle for the
+		// PTE clear (the descriptor update is owned by whoever holds it).
+		rvals, ok := v.regions.Read(p, regionKey, 2)
+		if ok {
+			found = true
+			if pe2, ok2 := v.pages.Acquire(p, rvals[rgBase]+vpn, hybrid.Exclusive); ok2 {
+				pe = pe2
+			}
+		}
+	}
+	if !found {
+		return fmt.Errorf("kernel: unmap of unmapped region %#x", regionKey)
+	}
+	if pe != 0 {
+		v.work(p, costUnmapWork)
+		v.pages.Release(p, pe, hybrid.Exclusive)
+	}
+	pt := v.pt(pid, p.ID())
+	p.Store(pt+sim.Addr(vpn%ptWords), 0)
+	p.Think(costTrapExit / 2)
+	return nil
+}
+
+// MMLock exposes cluster c's memory-manager lock (instrumentation).
+func (v *VM) MMLock(c int) locks.Lock { return v.mmLocks[c] }
+
+// SetMMLock replaces cluster c's memory-manager lock (instrumentation:
+// experiments wrap it to time holds). Call before any table use.
+func (v *VM) SetMMLock(c int, l locks.Lock) {
+	v.mmLocks[c] = l
+	v.regions.Table(c).SetLock(l)
+	v.fcbs.Table(c).SetLock(l)
+	v.pages.Table(c).SetLock(l)
+}

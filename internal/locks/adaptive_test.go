@@ -1,0 +1,78 @@
+package locks
+
+import (
+	"testing"
+
+	"hurricane/internal/sim"
+)
+
+func TestAdaptiveMutualExclusion(t *testing.T) {
+	exclusionStress(t, func(m *sim.Machine) Lock { return NewAdaptive(m, 5) }, 21, 12, 25, 20)
+	exclusionStress(t, func(m *sim.Machine) Lock { return NewAdaptive(m, 0) }, 22, 16, 8, 0)
+}
+
+func TestAdaptiveUncontendedNearSpin(t *testing.T) {
+	// The fast path costs the spin lock's two atomics plus one release-side
+	// queue-check load (the check H2 deleted from MCS).
+	spinDur, spinCounts := uncontendedPair(func(m *sim.Machine) Lock { return NewSpin(m, 12, sim.Micros(35)) })
+	adDur, adCounts := uncontendedPair(func(m *sim.Machine) Lock { return NewAdaptive(m, 12) })
+	if adCounts.Atomic != spinCounts.Atomic {
+		t.Errorf("adaptive atomics %d != spin %d", adCounts.Atomic, spinCounts.Atomic)
+	}
+	if adCounts.Mem != 1 {
+		t.Errorf("adaptive mem accesses = %d, want exactly the queue-check load", adCounts.Mem)
+	}
+	if float64(adDur) > float64(spinDur)*1.5 {
+		t.Errorf("adaptive uncontended latency %v too far above spin %v", adDur, spinDur)
+	}
+}
+
+func TestAdaptiveContendedNearFIFO(t *testing.T) {
+	// Under contention the queue bounds the worst case far below the
+	// plain backoff spin lock's.
+	worst := func(mk func(m *sim.Machine) Lock) float64 {
+		m := sim.NewMachine(sim.Config{Seed: 23})
+		l := mk(m)
+		var max sim.Duration
+		for i := 0; i < 16; i++ {
+			m.Go(i, func(p *sim.Proc) {
+				for r := 0; r < 30; r++ {
+					t0 := p.Now()
+					l.Acquire(p)
+					if d := p.Now() - t0; d > max {
+						max = d
+					}
+					p.Think(sim.Micros(25))
+					l.Release(p)
+				}
+			})
+		}
+		m.RunAll()
+		m.Shutdown()
+		return max.Microseconds()
+	}
+	adaptive := worst(func(m *sim.Machine) Lock { return NewAdaptive(m, 0) })
+	spin := worst(func(m *sim.Machine) Lock { return NewSpin(m, 0, sim.Micros(2000)) })
+	if adaptive >= spin/2 {
+		t.Errorf("adaptive worst acquire (%.0fus) not clearly bounded vs spin-2ms (%.0fus)", adaptive, spin)
+	}
+}
+
+func TestAdaptiveTryAcquire(t *testing.T) {
+	m := sim.NewMachine(sim.Config{Seed: 24})
+	l := NewAdaptive(m, 3)
+	m.Go(0, func(p *sim.Proc) {
+		if !l.TryAcquire(p) {
+			t.Error("try on free lock failed")
+		}
+		if l.TryAcquire(p) {
+			t.Error("try on held lock succeeded")
+		}
+		l.Release(p)
+		if !l.TryAcquire(p) {
+			t.Error("try after release failed")
+		}
+		l.Release(p)
+	})
+	m.RunAll()
+}

@@ -1,0 +1,52 @@
+// Package machine provides named configurations of the simulated hardware:
+// the 16-processor HECTOR prototype the paper measured, plus variants used
+// by ablations (CAS-capable machines for the §5 lock-free discussion, and a
+// larger NUMAchine-style machine for the §5.3 scaling outlook).
+package machine
+
+import "hurricane/internal/sim"
+
+// Hector16 is the machine of the paper's evaluation: 4 stations on a ring,
+// 4 processor-memory modules per station, 16 MHz MC88100 processors,
+// atomic-swap-only synchronization, 10/19/23-cycle local/station/ring
+// access times.
+func Hector16(seed uint64) sim.Config {
+	return sim.Config{Stations: 4, ProcsPerStation: 4, Seed: seed}
+}
+
+// Hector at arbitrary size keeps HECTOR timing but scales the topology.
+func Hector(stations, procsPerStation int, seed uint64) sim.Config {
+	return sim.Config{Stations: stations, ProcsPerStation: procsPerStation, Seed: seed}
+}
+
+// HectorWithCAS is HECTOR extended with a compare-and-swap primitive, used
+// by the lock-free ablation (§5.2 "Advanced atomic primitives").
+func HectorWithCAS(seed uint64) sim.Config {
+	c := Hector16(seed)
+	c.HasCAS = true
+	return c
+}
+
+// NUMAchine64 sketches the paper's §5.3 target: an order of magnitude
+// faster processors relative to memory (so remote accesses cost more
+// cycles), larger (64 processors), with CAS-class primitives. Used by the
+// scaling extension experiments.
+func NUMAchine64(seed uint64) sim.Config {
+	lat := sim.DefaultLatency()
+	lat.Local = 20
+	lat.Station = 60
+	lat.Ring = 90
+	lat.ModuleService = 12
+	lat.AtomicExtra = 6
+	lat.IPI = 60
+	return sim.Config{
+		Stations:        8,
+		ProcsPerStation: 8,
+		Seed:            seed,
+		HasCAS:          true,
+		Lat:             lat,
+	}
+}
+
+// New builds a machine from a config (convenience wrapper).
+func New(cfg sim.Config) *sim.Machine { return sim.NewMachine(cfg) }

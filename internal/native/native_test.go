@@ -1,0 +1,429 @@
+package native
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMCSMutualExclusion(t *testing.T) {
+	var l MCS
+	var held atomic.Int32
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tok := l.Acquire()
+				if held.Add(1) != 1 {
+					t.Error("exclusion violated")
+				}
+				total.Add(1)
+				held.Add(-1)
+				l.Release(tok)
+			}
+		}()
+	}
+	wg.Wait()
+	if total.Load() != 4000 {
+		t.Fatalf("total = %d", total.Load())
+	}
+}
+
+func TestMCSUncontendedReentry(t *testing.T) {
+	var l MCS
+	for i := 0; i < 100; i++ {
+		tok := l.Acquire()
+		l.Release(tok)
+	}
+}
+
+func TestMCSTryAcquire(t *testing.T) {
+	var l MCS
+	tok, ok := l.TryAcquire()
+	if !ok {
+		t.Fatal("try on free lock failed")
+	}
+	// A second try must fail fast while held.
+	done := make(chan bool)
+	go func() {
+		_, ok2 := l.TryAcquire()
+		done <- ok2
+	}()
+	select {
+	case ok2 := <-done:
+		if ok2 {
+			t.Fatal("try on held lock succeeded")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("TryAcquire blocked")
+	}
+	l.Release(tok)
+	// After release (which garbage-collects the abandoned node), a fresh
+	// try must succeed.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if tok2, ok2 := l.TryAcquire(); ok2 {
+			l.Release(tok2)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("lock never became acquirable after release")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestMCSMixedTryAndAcquire(t *testing.T) {
+	var l MCS
+	var held atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				if g%2 == 0 {
+					tok := l.Acquire()
+					if held.Add(1) != 1 {
+						t.Error("exclusion violated (acquire)")
+					}
+					held.Add(-1)
+					l.Release(tok)
+				} else if tok, ok := l.TryAcquire(); ok {
+					if held.Add(1) != 1 {
+						t.Error("exclusion violated (try)")
+					}
+					held.Add(-1)
+					l.Release(tok)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSpinLock(t *testing.T) {
+	var l Spin
+	var held atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Acquire()
+				if held.Add(1) != 1 {
+					t.Error("exclusion violated")
+				}
+				held.Add(-1)
+				l.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if !l.TryAcquire() {
+		t.Fatal("try on free lock failed")
+	}
+	if l.TryAcquire() {
+		t.Fatal("try on held lock succeeded")
+	}
+	l.Release()
+}
+
+func TestSpinThenBlock(t *testing.T) {
+	l := NewSpinThenBlock(8)
+	var held atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Acquire()
+				if held.Add(1) != 1 {
+					t.Error("exclusion violated")
+				}
+				held.Add(-1)
+				l.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if !l.TryAcquire() {
+		t.Fatal("try on free failed")
+	}
+	if l.TryAcquire() {
+		t.Fatal("try on held succeeded")
+	}
+	l.Release()
+}
+
+func TestTableBasics(t *testing.T) {
+	tb := NewTable()
+	if !tb.Insert(1, "a") || tb.Insert(1, "b") {
+		t.Fatal("insert semantics wrong")
+	}
+	if _, ok := tb.Lookup(2); ok {
+		t.Fatal("phantom lookup")
+	}
+	e, ok := tb.Reserve(1, true)
+	if !ok || e.Value != "a" {
+		t.Fatal("reserve failed")
+	}
+	if tb.Remove(1) {
+		t.Fatal("removed a reserved entry")
+	}
+	tb.ReleaseReserve(e, true)
+	if !tb.Remove(1) {
+		t.Fatal("remove failed")
+	}
+	if tb.Len() != 0 {
+		t.Fatal("table not empty")
+	}
+	if _, ok := tb.Reserve(1, true); ok {
+		t.Fatal("reserved an absent key")
+	}
+}
+
+func TestTableExclusiveReservations(t *testing.T) {
+	tb := NewTable()
+	tb.Insert(7, new(int))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				e, ok := tb.Reserve(7, true)
+				if !ok {
+					t.Error("reserve failed")
+					return
+				}
+				n := e.Value.(*int)
+				*n++ // data race iff exclusion broken (run with -race)
+				tb.ReleaseReserve(e, true)
+			}
+		}()
+	}
+	wg.Wait()
+	e, _ := tb.Lookup(7)
+	if got := *e.Value.(*int); got != 800 {
+		t.Fatalf("increments lost: %d", got)
+	}
+}
+
+func TestTableSharedReaders(t *testing.T) {
+	tb := NewTable()
+	tb.Insert(3, "ro")
+	var maxReaders atomic.Int64
+	var cur atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e, ok := tb.Reserve(3, false)
+			if !ok {
+				t.Error("shared reserve failed")
+				return
+			}
+			n := cur.Add(1)
+			for {
+				m := maxReaders.Load()
+				if n <= m || maxReaders.CompareAndSwap(m, n) {
+					break
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+			cur.Add(-1)
+			tb.ReleaseReserve(e, false)
+		}()
+	}
+	wg.Wait()
+	if maxReaders.Load() < 2 {
+		t.Errorf("readers never overlapped (max %d)", maxReaders.Load())
+	}
+	// Writer excluded while a reader holds.
+	e, _ := tb.Reserve(3, false)
+	done := make(chan struct{})
+	go func() {
+		we, _ := tb.Reserve(3, true)
+		tb.ReleaseReserve(we, true)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("writer reserved while reader held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	tb.ReleaseReserve(e, false)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("writer never got in after reader release")
+	}
+}
+
+func TestTablePropertyCountsPreserved(t *testing.T) {
+	// Property: concurrent exclusive increments across several keys are
+	// never lost.
+	f := func(keysRaw uint8) bool {
+		nkeys := int(keysRaw)%4 + 1
+		tb := NewTable()
+		for k := 0; k < nkeys; k++ {
+			tb.Insert(uint64(k), new(int))
+		}
+		var wg sync.WaitGroup
+		per := 50
+		for g := 0; g < 4; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					key := uint64((g + i) % nkeys)
+					e, ok := tb.Reserve(key, true)
+					if !ok {
+						return
+					}
+					*(e.Value.(*int))++
+					tb.ReleaseReserve(e, true)
+				}
+			}()
+		}
+		wg.Wait()
+		total := 0
+		for k := 0; k < nkeys; k++ {
+			e, _ := tb.Lookup(uint64(k))
+			total += *(e.Value.(*int))
+		}
+		return total == 4*per
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpinBackoffPathUnderHold(t *testing.T) {
+	var l Spin
+	l.MaxBackoff = 50 * time.Microsecond
+	l.Acquire()
+	acquired := make(chan struct{})
+	go func() {
+		l.Acquire() // must take the backoff path
+		close(acquired)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	select {
+	case <-acquired:
+		t.Fatal("second acquire succeeded while held")
+	default:
+	}
+	l.Release()
+	select {
+	case <-acquired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never acquired after release")
+	}
+	l.Release()
+}
+
+func TestSpinThenBlockBlockingPath(t *testing.T) {
+	l := NewSpinThenBlock(2) // tiny spin budget forces the blocking path
+	l.Acquire()
+	got := make(chan struct{})
+	go func() {
+		l.Acquire()
+		close(got)
+	}()
+	time.Sleep(2 * time.Millisecond)
+	l.Release()
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked waiter never woke")
+	}
+	l.Release()
+}
+
+func TestEntryReservedReporting(t *testing.T) {
+	tb := NewTable()
+	tb.Insert(9, nil)
+	e, _ := tb.Reserve(9, true)
+	if e.Reserved() != -1 {
+		t.Fatalf("exclusive state = %d", e.Reserved())
+	}
+	tb.ReleaseReserve(e, true)
+	e, _ = tb.Reserve(9, false)
+	e2, _ := tb.Reserve(9, false)
+	if e.Reserved() != 2 || e != e2 {
+		t.Fatalf("shared state = %d", e.Reserved())
+	}
+	tb.ReleaseReserve(e, false)
+	tb.ReleaseReserve(e2, false)
+	if e.Reserved() != 0 {
+		t.Fatalf("state after releases = %d", e.Reserved())
+	}
+}
+
+func TestTableReserveWaitsOutWriter(t *testing.T) {
+	tb := NewTable()
+	tb.MaxBackoff = 50 * time.Microsecond
+	tb.Insert(4, new(int))
+	e, _ := tb.Reserve(4, true)
+	done := make(chan struct{})
+	go func() {
+		e2, ok := tb.Reserve(4, true)
+		if !ok {
+			t.Error("reserve failed")
+		}
+		tb.ReleaseReserve(e2, true)
+		close(done)
+	}()
+	time.Sleep(3 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("writer got in while reserved")
+	default:
+	}
+	tb.ReleaseReserve(e, true)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter starved")
+	}
+}
+
+func TestMCSHandoffChainUnderChurn(t *testing.T) {
+	// Force long queues so Release's hand-off and link-wait paths run.
+	var l MCS
+	var wg sync.WaitGroup
+	var order []int
+	var held atomic.Int32
+	for g := 0; g < 12; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tok := l.Acquire()
+				if held.Add(1) != 1 {
+					t.Error("exclusion violated")
+				}
+				order = append(order, g) // safe: we hold the lock
+				held.Add(-1)
+				l.Release(tok)
+			}
+		}()
+	}
+	wg.Wait()
+	if len(order) != 600 {
+		t.Fatalf("acquisitions = %d", len(order))
+	}
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback. Events with equal times fire in the order
+// they were scheduled (seq breaks ties), which makes runs deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event core: a clock and an ordered queue of
+// callbacks. Processors are coroutines that the engine wakes one at a time,
+// so all simulated state is accessed single-threadedly and runs are
+// reproducible.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	// stopped is set by Stop to abandon the remaining event queue.
+	stopped bool
+	// processed counts events dispatched, as a progress/≈cost metric.
+	processed uint64
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed reports how many events have been dispatched so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// At schedules fn to run at time t. Scheduling in the past panics: it would
+// silently corrupt causality.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Duration, fn func()) { e.At(e.now+d, fn) }
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run dispatches events in order until the queue is empty, Stop is called,
+// or the clock would pass until (events at exactly until still run). It
+// returns the number of events processed by this call.
+func (e *Engine) Run(until Time) uint64 {
+	start := e.processed
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		if e.events[0].at > until {
+			break
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		e.processed++
+		ev.fn()
+	}
+	return e.processed - start
+}
+
+// RunAll dispatches events until none remain or Stop is called.
+func (e *Engine) RunAll() uint64 {
+	return e.Run(^Time(0))
+}
+
+// Pending reports how many events are queued.
+func (e *Engine) Pending() int { return len(e.events) }

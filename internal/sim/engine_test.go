@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.RunAll()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineTiesBreakBySequence(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events fired out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	e.At(10, func() {
+		got = append(got, e.Now())
+		e.After(5, func() { got = append(got, e.Now()) })
+	})
+	e.RunAll()
+	if len(got) != 2 || got[0] != 10 || got[1] != 15 {
+		t.Fatalf("nested scheduling wrong: %v", got)
+	}
+}
+
+func TestEngineRunUntilStopsAtBoundary(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(10, func() { fired++ })
+	e.At(20, func() { fired++ })
+	e.At(21, func() { fired++ })
+	n := e.Run(20)
+	if n != 2 || fired != 2 {
+		t.Fatalf("Run(20) fired %d events, want 2", fired)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.RunAll()
+	if fired != 3 {
+		t.Fatalf("RunAll did not fire the remaining event")
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(1, func() { fired++; e.Stop() })
+	e.At(2, func() { fired++ })
+	e.RunAll()
+	if fired != 1 {
+		t.Fatalf("Stop did not halt the loop: fired=%d", fired)
+	}
+	e.RunAll()
+	if fired != 2 {
+		t.Fatalf("resume after Stop failed: fired=%d", fired)
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.RunAll()
+}
+
+func TestEventHeapPropertyOrdered(t *testing.T) {
+	// Property: for any set of event times, dispatch order is sorted by
+	// time with ties in insertion order.
+	f := func(times []uint16) bool {
+		e := NewEngine()
+		type rec struct {
+			t   Time
+			seq int
+		}
+		var got []rec
+		for i, tm := range times {
+			i, tm := i, Time(tm)
+			e.At(tm, func() { got = append(got, rec{tm, i}) })
+		}
+		e.RunAll()
+		for i := 1; i < len(got); i++ {
+			if got[i].t < got[i-1].t {
+				return false
+			}
+			if got[i].t == got[i-1].t && got[i].seq < got[i-1].seq {
+				return false
+			}
+		}
+		return len(got) == len(times)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeMicroseconds(t *testing.T) {
+	if got := Time(16).Microseconds(); got != 1.0 {
+		t.Fatalf("16 cycles = %v us, want 1", got)
+	}
+	if got := Micros(25); got != 400 {
+		t.Fatalf("Micros(25) = %v cycles, want 400", got)
+	}
+	if s := Time(40).String(); s != "2.500us" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestRNGDeterministicAndSpread(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 equal values", same)
+	}
+	seen := make(map[int]bool)
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(8)
+		if v < 0 || v >= 8 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("Intn(8) never produced all values: %v", seen)
+	}
+	if NewRNG(1).Duration(0) != 0 {
+		t.Fatal("Duration(0) != 0")
+	}
+}
+
+func TestResourceQueueing(t *testing.T) {
+	var r Resource
+	if s := r.Acquire(100, 10); s != 100 {
+		t.Fatalf("idle acquire start = %v, want 100", s)
+	}
+	if s := r.Acquire(105, 10); s != 110 {
+		t.Fatalf("queued acquire start = %v, want 110", s)
+	}
+	if s := r.Acquire(200, 10); s != 200 {
+		t.Fatalf("late acquire start = %v, want 200", s)
+	}
+	if r.Requests != 3 || r.Busy != 30 {
+		t.Fatalf("stats: requests=%d busy=%d", r.Requests, r.Busy)
+	}
+	if r.MaxQueue != 5 {
+		t.Fatalf("MaxQueue = %d, want 5", r.MaxQueue)
+	}
+	if u := r.Utilization(300); u != 0.1 {
+		t.Fatalf("utilization = %v, want 0.1", u)
+	}
+	r.ResetStats()
+	if r.Requests != 0 || r.Busy != 0 || r.MaxQueue != 0 {
+		t.Fatal("ResetStats did not clear")
+	}
+	if r.BusyUntil() != 210 {
+		t.Fatalf("ResetStats must not clear timing state: busyUntil=%v", r.BusyUntil())
+	}
+}
+
+func TestResourcePropertyNoOverlap(t *testing.T) {
+	// Property: service intervals never overlap and starts are monotone for
+	// monotone arrivals.
+	f := func(arrivals []uint8) bool {
+		var r Resource
+		at := Time(0)
+		lastEnd := Time(0)
+		for _, d := range arrivals {
+			at += Time(d)
+			start := r.Acquire(at, 7)
+			if start < at || start < lastEnd {
+				return false
+			}
+			lastEnd = start + 7
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

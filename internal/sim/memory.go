@@ -1,0 +1,266 @@
+package sim
+
+import "fmt"
+
+// Addr is a simulated physical address of one 64-bit word. The module that
+// owns the word is encoded in the high bits, so placement is explicit —
+// exactly what a NUMA kernel has to reason about. Address 0 is never
+// allocated and serves as the nil pointer for in-memory data structures.
+type Addr uint64
+
+const moduleShift = 32
+
+// Module reports the memory module (processor-memory module index) that
+// owns the address.
+func (a Addr) Module() int { return int(a >> moduleShift) }
+
+func (a Addr) offset() uint64 { return uint64(a) & (1<<moduleShift - 1) }
+
+// Latency holds the timing parameters of the simulated machine. The
+// defaults model the HECTOR prototype in the paper: 10-cycle local,
+// 19-cycle on-station, and 23-cycle cross-ring accesses, with atomic swap
+// implemented as two module accesses (read then write) of which the
+// processor only waits for the first ("the MC88100 can proceed as soon as
+// the fetch portion of the fetch-and-store has completed").
+type Latency struct {
+	// Local, Station, Ring are uncontended round-trip times for a single
+	// memory access at each topological distance.
+	Local, Station, Ring Duration
+	// ModuleService is how long one access occupies the target module.
+	ModuleService Duration
+	// BusService is how long an off-module access occupies a station bus.
+	BusService Duration
+	// RingService is how long a cross-station access occupies the ring.
+	RingService Duration
+	// AtomicAccesses is the number of module accesses an atomic
+	// read-modify-write performs (2 on HECTOR).
+	AtomicAccesses int
+	// AtomicExtra is the additional processor-visible latency of an atomic
+	// beyond a plain access (the exposed part of the store phase).
+	AtomicExtra Duration
+	// Reg and Branch are the costs of register-to-register and branch
+	// instructions.
+	Reg, Branch Duration
+	// IPI is the delivery delay of an inter-processor interrupt.
+	IPI Duration
+}
+
+// DefaultLatency returns the HECTOR-calibrated parameters.
+func DefaultLatency() Latency {
+	return Latency{
+		Local:          10,
+		Station:        19,
+		Ring:           23,
+		ModuleService:  14,
+		BusService:     10,
+		RingService:    4,
+		AtomicAccesses: 2,
+		AtomicExtra:    4,
+		Reg:            1,
+		Branch:         1,
+		IPI:            30,
+	}
+}
+
+// Memory is the simulated NUMA memory system: one module per processor,
+// one bus per station, and a ring connecting stations. Every access queues
+// at the resources along its path, so contention at any of them delays the
+// access and everyone behind it.
+type Memory struct {
+	eng             *Engine
+	lat             Latency
+	procsPerStation int
+
+	modules []Resource
+	buses   []Resource
+	ring    Resource
+
+	data     [][]uint64
+	watchers map[Addr][]*Proc
+}
+
+// newMemory builds the memory system for nStations*procsPerStation
+// processor-memory modules.
+func newMemory(eng *Engine, nStations, procsPerStation int, lat Latency) *Memory {
+	n := nStations * procsPerStation
+	m := &Memory{
+		eng:             eng,
+		lat:             lat,
+		procsPerStation: procsPerStation,
+		modules:         make([]Resource, n),
+		buses:           make([]Resource, nStations),
+		data:            make([][]uint64, n),
+		watchers:        make(map[Addr][]*Proc),
+	}
+	for i := range m.modules {
+		m.modules[i].Name = fmt.Sprintf("module%d", i)
+		// Offset 0 of module 0 would be Addr(0) == nil; burn offset 0 of
+		// every module so allocations never alias the nil address.
+		m.data[i] = append(m.data[i], 0)
+	}
+	for i := range m.buses {
+		m.buses[i].Name = fmt.Sprintf("bus%d", i)
+	}
+	m.ring.Name = "ring"
+	return m
+}
+
+// NumModules reports the number of processor-memory modules.
+func (m *Memory) NumModules() int { return len(m.modules) }
+
+func (m *Memory) stationOf(module int) int { return module / m.procsPerStation }
+
+// Alloc reserves n words of zeroed memory on the given module and returns
+// the address of the first word. Allocation itself is free (it models
+// static kernel data placement, not a runtime allocator).
+func (m *Memory) Alloc(module, n int) Addr {
+	if module < 0 || module >= len(m.data) {
+		panic(fmt.Sprintf("sim: Alloc on module %d of %d", module, len(m.data)))
+	}
+	off := len(m.data[module])
+	if uint64(off)+uint64(n) >= 1<<moduleShift {
+		panic("sim: module address space exhausted")
+	}
+	m.data[module] = append(m.data[module], make([]uint64, n)...)
+	return Addr(uint64(module)<<moduleShift | uint64(off))
+}
+
+func (m *Memory) word(a Addr) *uint64 {
+	mod := a.Module()
+	off := a.offset()
+	if mod >= len(m.data) || off >= uint64(len(m.data[mod])) || off == 0 {
+		panic(fmt.Sprintf("sim: access to unallocated address %#x", uint64(a)))
+	}
+	return &m.data[mod][off]
+}
+
+// Peek reads a word with no simulated cost. For tests and instrumentation
+// only — simulated code must use Proc.Load.
+func (m *Memory) Peek(a Addr) uint64 { return *m.word(a) }
+
+// Poke writes a word with no simulated cost, waking watchers. For tests and
+// instrumentation only.
+func (m *Memory) Poke(a Addr, v uint64) {
+	*m.word(a) = v
+	m.wakeWatchers(a, m.eng.Now())
+}
+
+// Module exposes a module's resource counters (utilization statistics).
+func (m *Memory) Module(i int) *Resource { return &m.modules[i] }
+
+// Bus exposes a station bus's resource counters.
+func (m *Memory) Bus(i int) *Resource { return &m.buses[i] }
+
+// Ring exposes the ring's resource counters.
+func (m *Memory) Ring() *Resource { return &m.ring }
+
+// ResetStats clears the utilization counters of every resource.
+func (m *Memory) ResetStats() {
+	for i := range m.modules {
+		m.modules[i].ResetStats()
+	}
+	for i := range m.buses {
+		m.buses[i].ResetStats()
+	}
+	m.ring.ResetStats()
+}
+
+// access performs one memory reference for processor p. kind selects the
+// operation; the word's value is updated immediately (call order per module
+// equals service order, so per-word value sequences are consistent) and the
+// completion time at which the processor may proceed is returned.
+type accessKind int
+
+const (
+	accLoad accessKind = iota
+	accStore
+	accSwap
+	accCAS
+)
+
+func (m *Memory) access(p *Proc, a Addr, kind accessKind, operand, expect uint64) (old uint64, done Time, ok bool) {
+	src := p.module
+	dst := a.Module()
+	now := m.eng.Now()
+	t := now
+
+	// An atomic read-modify-write is two memory transactions on HECTOR:
+	// it occupies the module, buses and ring for both halves, though the
+	// processor only waits out the fetch half (plus AtomicExtra).
+	nAcc := Duration(1)
+	var extra Duration
+	if kind == accSwap || kind == accCAS {
+		nAcc = Duration(m.lat.AtomicAccesses)
+		extra = m.lat.AtomicExtra
+	}
+
+	var base Duration
+	switch {
+	case src == dst:
+		base = m.lat.Local
+	case m.stationOf(src) == m.stationOf(dst):
+		base = m.lat.Station
+		t = m.buses[m.stationOf(dst)].Acquire(t, m.lat.BusService*nAcc)
+	default:
+		base = m.lat.Ring
+		t = m.buses[m.stationOf(src)].Acquire(t, m.lat.BusService*nAcc)
+		t = m.ring.Acquire(t, m.lat.RingService*nAcc)
+		t = m.buses[m.stationOf(dst)].Acquire(t, m.lat.BusService*nAcc)
+	}
+	t = m.modules[dst].Acquire(t, m.lat.ModuleService*nAcc)
+
+	queueDelay := t - now
+	done = now + queueDelay + base + extra
+
+	w := m.word(a)
+	old = *w
+	ok = true
+	switch kind {
+	case accStore:
+		*w = operand
+		m.wakeWatchers(a, done)
+	case accSwap:
+		*w = operand
+		m.wakeWatchers(a, done)
+	case accCAS:
+		if old == expect {
+			*w = operand
+			m.wakeWatchers(a, done)
+		} else {
+			ok = false
+		}
+	}
+	return old, done, ok
+}
+
+// watch registers p to be woken when the word at a is next written.
+func (m *Memory) watch(a Addr, p *Proc) {
+	m.watchers[a] = append(m.watchers[a], p)
+}
+
+// unwatch removes p from the watcher list of a.
+func (m *Memory) unwatch(a Addr, p *Proc) {
+	ws := m.watchers[a]
+	for i, q := range ws {
+		if q == p {
+			ws = append(ws[:i], ws[i+1:]...)
+			break
+		}
+	}
+	if len(ws) == 0 {
+		delete(m.watchers, a)
+	} else {
+		m.watchers[a] = ws
+	}
+}
+
+func (m *Memory) wakeWatchers(a Addr, at Time) {
+	ws := m.watchers[a]
+	if len(ws) == 0 {
+		return
+	}
+	delete(m.watchers, a)
+	for _, p := range ws {
+		p.unparkAt(at)
+	}
+}

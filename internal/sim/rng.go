@@ -1,0 +1,44 @@
+package sim
+
+// RNG is a SplitMix64 pseudo-random generator. Each processor owns one,
+// seeded from the machine seed and the processor ID, so simulations are
+// reproducible regardless of event interleaving and no global generator is
+// shared across coroutines.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator for the given seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next raw 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Duration returns a Duration in [0, d). A zero bound yields zero.
+func (r *RNG) Duration(d Duration) Duration {
+	if d == 0 {
+		return 0
+	}
+	return Duration(r.Uint64() % uint64(d))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}

@@ -1,0 +1,45 @@
+// Package sim implements a deterministic discrete-event simulator of a
+// non-cache-coherent NUMA multiprocessor in the style of the HECTOR
+// prototype: processors grouped into stations, each processor paired with a
+// memory module, stations connected by a ring. Simulated processors execute
+// instruction streams (loads, stores, atomic swaps, register and branch
+// instructions) whose memory references queue at memory modules, station
+// buses and the ring, so contention has the same second-order effects the
+// paper measures: processors spinning on remote memory steal module and
+// interconnect bandwidth from everyone else, including the lock holder.
+//
+// The simulator is deterministic: processors are coroutines woken one at a
+// time by a single event loop ordered by (time, sequence number), and all
+// randomness is drawn from seeded generators.
+package sim
+
+import "fmt"
+
+// Time is a point in simulated time, in processor cycles.
+//
+// The HECTOR prototype ran 16 MHz MC88100 processors, so one cycle is
+// 62.5 ns and 16 cycles are one microsecond. Duration arithmetic uses the
+// same unit.
+type Time uint64
+
+// Duration is a span of simulated time in cycles.
+type Duration = Time
+
+// CyclesPerMicrosecond converts between the paper's microsecond figures and
+// simulated cycles at the HECTOR clock rate of 16 MHz.
+const CyclesPerMicrosecond = 16
+
+// Microseconds reports t as floating-point microseconds at 16 MHz.
+func (t Time) Microseconds() float64 {
+	return float64(t) / CyclesPerMicrosecond
+}
+
+// Micros builds a Duration from a microsecond count.
+func Micros(us float64) Duration {
+	return Duration(us * CyclesPerMicrosecond)
+}
+
+// String formats the time as microseconds for logs and traces.
+func (t Time) String() string {
+	return fmt.Sprintf("%.3fus", t.Microseconds())
+}

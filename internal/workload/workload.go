@@ -1,0 +1,240 @@
+// Package workload implements the paper's synthetic stress tests (§4):
+// the lock acquire/release loops of Figure 5, and the independent- and
+// shared-fault page-fault tests of Figure 6, plus the harness pieces they
+// need (a zero-cost barrier for phase alignment).
+package workload
+
+import (
+	"hurricane/internal/core"
+	"hurricane/internal/kernel"
+	"hurricane/internal/locks"
+	"hurricane/internal/sim"
+	"hurricane/internal/stats"
+)
+
+// Barrier aligns a fixed group of simulated processors. It costs nothing
+// in simulated time (the paper's tests barrier between phases but do not
+// measure the barrier).
+type Barrier struct {
+	n       int
+	arrived int
+	waiting []*sim.Proc
+}
+
+// NewBarrier builds a barrier for n participants.
+func NewBarrier(n int) *Barrier { return &Barrier{n: n} }
+
+// Wait blocks until all n participants have arrived.
+func (b *Barrier) Wait(p *sim.Proc) {
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		for _, q := range b.waiting {
+			q.Unpark()
+		}
+		b.waiting = b.waiting[:0]
+		return
+	}
+	b.waiting = append(b.waiting, p)
+	for {
+		p.Park()
+		// Spurious wake (an IPI): still waiting if we are in the list.
+		stillWaiting := false
+		for _, q := range b.waiting {
+			if q == p {
+				stillWaiting = true
+			}
+		}
+		if !stillWaiting {
+			return
+		}
+	}
+}
+
+// LockStressResult reports Figure 5 numbers for one (algorithm, p) point.
+type LockStressResult struct {
+	// PairUS is a throughput view: elapsed time per per-processor round,
+	// minus the hold. Because unfair locks let early finishers drop out,
+	// this underestimates their cost; prefer AcquireUS for fairness-
+	// sensitive comparisons.
+	PairUS float64
+	// AcquireUS is the mean time to acquire the lock in microseconds —
+	// the figure's response time.
+	AcquireUS float64
+	// AcquireDist is the distribution of individual acquire latencies in
+	// microseconds (for the starvation analysis: the paper saw >2ms on
+	// 13% of acquires with the 2ms-backoff spin lock at p=16).
+	AcquireDist *stats.Dist
+}
+
+// LockStress runs the Figure 5 experiment: nprocs processors continuously
+// acquire and release one lock of the given kind (homed on module 0),
+// holding it for hold cycles, rounds times each.
+func LockStress(seed uint64, kind locks.Kind, nprocs, rounds int, hold sim.Duration) LockStressResult {
+	m := sim.NewMachine(sim.Config{Seed: seed})
+	l := locks.New(m, kind, 0)
+	// The protected data lives with the lock, as kernel data does: the
+	// holder's critical section touches it, so remote spinning on the lock
+	// module slows the holder — the second-order effect of §2.1.
+	data := m.Alloc(0, 8)
+	holdWork := func(p *sim.Proc, h sim.Duration) {
+		chunk := sim.Micros(2)
+		for h >= chunk {
+			p.Store(data+sim.Addr(p.ID()%8), uint64(p.ID()))
+			h -= chunk
+			p.Think(chunk - 20)
+		}
+		p.Think(h)
+	}
+	dist := &stats.Dist{}
+	for i := 0; i < nprocs; i++ {
+		m.Go(i, func(p *sim.Proc) {
+			for r := 0; r < rounds; r++ {
+				t0 := p.Now()
+				l.Acquire(p)
+				dist.Add((p.Now() - t0).Microseconds())
+				holdWork(p, hold)
+				l.Release(p)
+			}
+		})
+	}
+	m.RunAll()
+	m.Shutdown()
+	elapsed := m.Eng.Now()
+	// Throughput view: average time per completed operation across the
+	// whole machine, minus the hold itself — the per-pair overhead.
+	perOp := float64(elapsed) / float64(rounds) / sim.CyclesPerMicrosecond
+	return LockStressResult{
+		PairUS:      perOp - hold.Microseconds(),
+		AcquireUS:   dist.Mean(),
+		AcquireDist: dist,
+	}
+}
+
+// UncontendedPair measures one warm acquire+release by processor 0 with
+// the lock word cross-ring, like §4.1.1.
+func UncontendedPair(seed uint64, kind locks.Kind) (us float64, counts sim.InstrCounters) {
+	m := sim.NewMachine(sim.Config{Seed: seed})
+	l := locks.New(m, kind, 12)
+	var took sim.Duration
+	m.Go(0, func(p *sim.Proc) {
+		l.Acquire(p)
+		l.Release(p)
+		before := p.Counters()
+		start := p.Now()
+		l.Acquire(p)
+		l.Release(p)
+		took = p.Now() - start
+		counts = p.Counters().Sub(before)
+	})
+	m.RunAll()
+	m.Shutdown()
+	return took.Microseconds(), counts
+}
+
+// FaultResult reports one page-fault experiment run.
+type FaultResult struct {
+	// Dist is the distribution of fault response times in microseconds.
+	Dist *stats.Dist
+	// Stats snapshots the kernel counters after the run.
+	Stats kernel.Stats
+	// Replications counts page-descriptor replications performed.
+	Replications uint64
+	// Elapsed is the total simulated time.
+	Elapsed sim.Time
+}
+
+// IndependentFaults runs the Figure 6a test on sys: nprocs processes
+// repeatedly soft-fault on private pages of a per-process region homed in
+// the faulting processor's own cluster. The only possible contention is
+// kernel-internal (coarse locks).
+func IndependentFaults(sys *core.System, nprocs, npages, rounds int) FaultResult {
+	k := sys.K
+	dist := &stats.Dist{}
+	bar := NewBarrier(nprocs)
+	for i := 0; i < nprocs; i++ {
+		i := i
+		sys.Spawn(i, func(p *sim.Proc) {
+			c := k.Topo.ClusterOf(i)
+			id := uint64(i + 1)
+			region := kernel.MakeKey(c, 1, id<<20)
+			file := kernel.MakeKey(c, 2, id<<20)
+			base := kernel.MakeKey(c, 3, id<<20)
+			k.VM.SetupRegion(p, region, file, base)
+			for v := 0; v < npages; v++ {
+				k.VM.SetupFCB(p, file+uint64(v))
+				k.VM.SetupPage(p, base+uint64(v), 1, 0, id<<20|uint64(v))
+			}
+			pid := id
+			// Warm the tables (first faults create AS/HAT entries).
+			if _, err := k.VM.Fault(p, pid, region, 0, true); err != nil {
+				panic(err)
+			}
+			k.VM.Unmap(p, pid, region, 0)
+			bar.Wait(p)
+			for r := 0; r < rounds; r++ {
+				vpn := uint64(r % npages)
+				t0 := p.Now()
+				if _, err := k.VM.Fault(p, pid, region, vpn, true); err != nil {
+					panic(err)
+				}
+				dist.Add((p.Now() - t0).Microseconds())
+				k.VM.Unmap(p, pid, region, vpn)
+			}
+		})
+	}
+	sys.ServeOthers()
+	elapsed := sys.Run(0)
+	return FaultResult{Dist: dist, Stats: k.Stats, Replications: k.VM.Pages().Replications, Elapsed: elapsed}
+}
+
+// SharedFaults runs the Figure 6b test on sys: nprocs processes repeatedly
+// (1) write-fault the same npages shared pages, (2) barrier, (3) unmap
+// them, (4) barrier. The pages are under page-level coherence, so write
+// faults from non-home clusters notify the master; contention is inherent
+// in the application's sharing.
+func SharedFaults(sys *core.System, nprocs, npages, rounds int) FaultResult {
+	k := sys.K
+	dist := &stats.Dist{}
+	bar := NewBarrier(nprocs)
+	region := kernel.MakeKey(0, 1, 1<<20)
+	file := kernel.MakeKey(0, 2, 1<<20)
+	base := kernel.MakeKey(0, 3, 1<<20)
+	for i := 0; i < nprocs; i++ {
+		i := i
+		sys.Spawn(i, func(p *sim.Proc) {
+			pid := uint64(100 + i)
+			if i == 0 {
+				k.VM.SetupRegion(p, region, file, base)
+				for v := 0; v < npages; v++ {
+					k.VM.SetupFCB(p, file+uint64(v))
+					k.VM.SetupPage(p, base+uint64(v), uint64(nprocs), kernel.FlagCoherent, 7<<20|uint64(v))
+				}
+			}
+			bar.Wait(p) // setup done
+			// Warm: create AS/HAT entries and local replicas.
+			if _, err := k.VM.Fault(p, pid, region, 0, false); err != nil {
+				panic(err)
+			}
+			k.VM.Unmap(p, pid, region, 0)
+			bar.Wait(p)
+			for r := 0; r < rounds; r++ {
+				for v := 0; v < npages; v++ {
+					t0 := p.Now()
+					if _, err := k.VM.Fault(p, pid, region, uint64(v), true); err != nil {
+						panic(err)
+					}
+					dist.Add((p.Now() - t0).Microseconds())
+				}
+				bar.Wait(p)
+				for v := 0; v < npages; v++ {
+					k.VM.Unmap(p, pid, region, uint64(v))
+				}
+				bar.Wait(p)
+			}
+		})
+	}
+	sys.ServeOthers()
+	elapsed := sys.Run(0)
+	return FaultResult{Dist: dist, Stats: k.Stats, Replications: k.VM.Pages().Replications, Elapsed: elapsed}
+}
