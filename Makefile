@@ -1,0 +1,29 @@
+# Tier-1 gate: everything a PR must pass. `make ci` is what the README
+# documents and what reviewers run.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench results
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The simulated locks run single-threaded by construction; the native
+# ports use real atomics, so they are the race detector's job.
+race:
+	$(GO) test -race ./internal/native/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table/figure plus the machine-readable BENCH_sim.json.
+results:
+	$(GO) run ./cmd/hurricane-bench | tee results_full.txt

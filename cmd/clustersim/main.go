@@ -25,6 +25,7 @@ func main() {
 	pages := flag.Int("pages", 4, "pages per process (or shared pages)")
 	rounds := flag.Int("rounds", 20, "fault rounds per process")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the run")
 	flag.Parse()
 
 	kinds := map[string]locks.Kind{
@@ -41,6 +42,12 @@ func main() {
 		ClusterSize: *size,
 		LockKind:    lk,
 	})
+
+	var tracer *sim.ChromeTracer
+	if *tracePath != "" {
+		tracer = sim.NewChromeTracer()
+		sys.M.SetTracer(tracer)
+	}
 
 	var res workload.FaultResult
 	switch *wl {
@@ -65,13 +72,31 @@ func main() {
 	fmt.Printf("  IPI work deferred by the logical mask: %d\n", sys.K.Gate.Deferred)
 	fmt.Printf("  elapsed: %v simulated\n", res.Elapsed)
 
-	// Memory-system hot spots.
+	// Memory-system hot spots (windowed: the window opened at machine
+	// construction, so this covers the whole run).
 	fmt.Println("  busiest memory modules:")
 	now := sys.M.Eng.Now()
 	for i := 0; i < sys.M.NumProcs(); i++ {
 		r := sys.M.Mem.Module(i)
-		if u := r.Utilization(now); u > 0.10 {
+		if u := r.WindowUtilization(now); u > 0.10 {
 			fmt.Printf("    module %-2d  %4.0f%% busy, worst queue %v\n", i, u*100, r.MaxQueue)
 		}
+	}
+
+	if tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tracer.Export(f); err != nil {
+			fmt.Fprintf(os.Stderr, "write trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "close trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  wrote %s (%d events)\n", *tracePath, len(tracer.Events()))
 	}
 }

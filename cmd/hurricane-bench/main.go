@@ -1,5 +1,7 @@
 // hurricane-bench regenerates every table and figure of the paper's
-// evaluation on the simulated HECTOR machine, plus the ablations.
+// evaluation on the simulated HECTOR machine, plus the ablations, and
+// writes a machine-readable summary (BENCH_sim.json) so successive PRs
+// have a performance trajectory to compare against.
 //
 // Usage:
 //
@@ -7,9 +9,11 @@
 //	hurricane-bench -run fig7       # experiments whose name matches
 //	hurricane-bench -quick          # reduced rounds (CI-scale)
 //	hurricane-bench -seed 7         # different deterministic seed
+//	hurricane-bench -json out.json  # summary path ("" disables)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +27,7 @@ func main() {
 	runPat := flag.String("run", "", "regexp selecting experiments by name")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	quick := flag.Bool("quick", false, "reduced round counts")
+	jsonPath := flag.String("json", "BENCH_sim.json", "machine-readable summary path (empty to disable)")
 	flag.Parse()
 
 	rounds := func(full, reduced int) int {
@@ -44,6 +49,7 @@ func main() {
 		{"fig7b", func() *exp.Table { return exp.Figure7b(*seed, 4, rounds(10, 3)) }},
 		{"fig7c", func() *exp.Table { return exp.Figure7c(*seed, rounds(30, 8)) }},
 		{"fig7d", func() *exp.Table { return exp.Figure7d(*seed, 4, rounds(10, 3)) }},
+		{"utilization", func() *exp.Table { return exp.LockUtilization(*seed, rounds(120, 30)) }},
 		{"calibration", func() *exp.Table { return exp.Calibration(*seed) }},
 		{"trylock", func() *exp.Table { return exp.TryLockFairness(*seed, rounds(60, 20)) }},
 		{"protocols", func() *exp.Table { return exp.Protocols(*seed) }},
@@ -63,6 +69,7 @@ func main() {
 		}
 	}
 
+	report := exp.Report{Seed: *seed, Quick: *quick}
 	ran := 0
 	for _, e := range experiments {
 		if re != nil && !re.MatchString(e.name) {
@@ -72,6 +79,9 @@ func main() {
 		tbl := e.run()
 		fmt.Println(tbl.String())
 		fmt.Printf("[%s completed in %v wall time]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		report.Experiments = append(report.Experiments, exp.Result{
+			Name: e.name, Title: tbl.Title, Metrics: tbl.Metrics,
+		})
 		ran++
 	}
 	if ran == 0 {
@@ -81,4 +91,25 @@ func main() {
 		}
 		os.Exit(1)
 	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal summary: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write summary: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d experiments, %d metrics)\n", *jsonPath, ran, countMetrics(report))
+	}
+}
+
+func countMetrics(r exp.Report) int {
+	n := 0
+	for _, e := range r.Experiments {
+		n += len(e.Metrics)
+	}
+	return n
 }

@@ -4,6 +4,13 @@
 //
 //	lockstat -lock h2mcs -procs 16 -hold 25 -rounds 300
 //	lockstat -lock spin2ms -procs 16 -hold 25    # watch the starvation tail
+//	lockstat -lock spin -procs 16 -hold 25 -stats    # per-lock + per-resource telemetry
+//	lockstat -lock h2mcs -procs 4 -rounds 20 -trace out.json   # chrome://tracing / Perfetto
+//
+// With -stats, warm-up rounds (default rounds/4) are excluded from every
+// number by a mid-run statistics reset: latency distributions, lock
+// telemetry and resource utilization all cover only the measurement
+// window, so start-up transients do not dilute steady-state contention.
 package main
 
 import (
@@ -30,7 +37,10 @@ func main() {
 	procs := flag.Int("procs", 16, "contending processors (1-16)")
 	holdUS := flag.Float64("hold", 25, "critical-section length in microseconds")
 	rounds := flag.Int("rounds", 300, "acquisitions per processor")
+	warmup := flag.Int("warmup", -1, "warm-up acquisitions per processor excluded from stats (-1 = rounds/4)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	showStats := flag.Bool("stats", false, "print per-lock and per-resource telemetry")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the run")
 	flag.Parse()
 
 	kind, ok := kinds[*lock]
@@ -42,16 +52,62 @@ func main() {
 		fmt.Fprintln(os.Stderr, "procs must be 1-16 (HECTOR has 16 processors)")
 		os.Exit(2)
 	}
+	if *warmup < 0 {
+		*warmup = *rounds / 4
+	}
 
 	us, counts := workload.UncontendedPair(*seed, kind)
 	fmt.Printf("%s: uncontended pair %.2fus (atomic/mem/reg/br = %d/%d/%d/%d)\n\n",
 		kind, us, counts.Atomic, counts.Mem, counts.Reg, counts.Branch)
 
-	r := workload.LockStress(*seed, kind, *procs, *rounds, sim.Micros(*holdUS))
+	var tracer *sim.ChromeTracer
+	var t sim.Tracer
+	if *tracePath != "" {
+		tracer = sim.NewChromeTracer()
+		t = tracer
+	}
+
+	r := workload.LockStressInstrumented(*seed, kind, *procs, *rounds, *warmup, sim.Micros(*holdUS), t)
 	d := r.AcquireDist
-	fmt.Printf("%d procs x %d rounds, hold %gus:\n", *procs, *rounds, *holdUS)
+	fmt.Printf("%d procs x %d rounds (+%d warm-up), hold %gus:\n", *procs, *rounds, *warmup, *holdUS)
 	fmt.Printf("  acquire latency (us): mean %.1f  p50 %.1f  p95 %.1f  p99 %.1f  max %.0f\n",
 		d.Mean(), d.Percentile(50), d.Percentile(95), d.Percentile(99), d.Max())
 	fmt.Printf("  acquires over 2ms: %.2f%%\n", d.FracAbove(2000)*100)
 	fmt.Printf("  throughput view: %.1f us/op machine-wide\n", r.PairUS+*holdUS)
+
+	if *showStats {
+		fmt.Println()
+		fmt.Print(r.Lock.Report())
+		fmt.Printf("windowed resource utilization over [%v, %v]:\n", r.WindowStart, r.WindowEnd)
+		for i, ru := range r.Resources {
+			marker := ""
+			if i == r.HomeModule {
+				marker = "  <- lock home"
+			}
+			// Quiet resources are noise; always show the home module.
+			if ru.Utilization < 0.01 && i != r.HomeModule {
+				continue
+			}
+			fmt.Printf("  %-8s %5.1f%% busy  %7d requests  worst queue %6.1fus%s\n",
+				ru.Name, ru.Utilization*100, ru.Requests, ru.MaxQueueUS, marker)
+		}
+	}
+
+	if tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tracer.Export(f); err != nil {
+			fmt.Fprintf(os.Stderr, "write trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "close trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s (%d events; open in chrome://tracing or https://ui.perfetto.dev)\n",
+			*tracePath, len(tracer.Events()))
+	}
 }

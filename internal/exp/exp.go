@@ -14,11 +14,43 @@ type Table struct {
 	Cols  []string
 	Rows  [][]string
 	Notes []string
+	// Metrics are the machine-readable numbers this experiment exports
+	// (cmd/hurricane-bench serializes them to BENCH_sim.json so later PRs
+	// can track a performance trajectory).
+	Metrics []Metric
+}
+
+// Metric is one machine-readable number an experiment exports: a latency,
+// a utilization, a count.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
 }
 
 // AddRow appends a formatted row.
 func (t *Table) AddRow(cells ...string) {
 	t.Rows = append(t.Rows, cells)
+}
+
+// AddMetric records a machine-readable result value.
+func (t *Table) AddMetric(name string, value float64, unit string) {
+	t.Metrics = append(t.Metrics, Metric{Name: name, Value: value, Unit: unit})
+}
+
+// Result pairs an experiment name with its exported metrics, for the
+// machine-readable report.
+type Result struct {
+	Name    string   `json:"name"`
+	Title   string   `json:"title"`
+	Metrics []Metric `json:"metrics"`
+}
+
+// Report is the whole-run summary hurricane-bench writes as BENCH_sim.json.
+type Report struct {
+	Seed        uint64   `json:"seed"`
+	Quick       bool     `json:"quick"`
+	Experiments []Result `json:"experiments"`
 }
 
 // Note appends a free-form annotation printed under the table.

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"encoding/json"
 	"strconv"
 	"strings"
 	"testing"
@@ -180,5 +181,57 @@ func TestScalingTable(t *testing.T) {
 	big := cell(t, tb, 2, 1)
 	if big < small*3 {
 		t.Errorf("NUMAchine-64 unclustered (%.0f) should dwarf clustered (%.0f)", big, small)
+	}
+}
+
+func TestLockUtilizationTable(t *testing.T) {
+	tbl := LockUtilization(2, 12)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (h2mcs, spin)", len(tbl.Rows))
+	}
+	if len(tbl.Metrics) == 0 {
+		t.Fatal("utilization experiment exported no metrics")
+	}
+	// The headline claim must hold in the metrics themselves: the spin
+	// lock's home module runs hotter than the distributed lock's.
+	vals := map[string]float64{}
+	for _, m := range tbl.Metrics {
+		vals[m.Name] = m.Value
+	}
+	spin, mcs := vals["Spin-35us.home_module_util"], vals["H2-MCS.home_module_util"]
+	if spin <= mcs {
+		t.Fatalf("spin home utilization %.2f not above h2mcs %.2f", spin, mcs)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	// The BENCH_sim.json schema: experiments carry named metrics and
+	// survive a marshal/unmarshal round trip.
+	tbl := Figure5(2, 0, 4)
+	if len(tbl.Metrics) == 0 {
+		t.Fatal("Figure5 exported no metrics")
+	}
+	rep := Report{Seed: 2, Quick: true, Experiments: []Result{
+		{Name: "fig5a", Title: tbl.Title, Metrics: tbl.Metrics},
+	}}
+	buf, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Seed != 2 || len(back.Experiments) != 1 {
+		t.Fatalf("round trip mangled the report: %+v", back)
+	}
+	if len(back.Experiments[0].Metrics) != len(tbl.Metrics) {
+		t.Fatalf("metrics lost in round trip: %d != %d",
+			len(back.Experiments[0].Metrics), len(tbl.Metrics))
+	}
+	for _, m := range back.Experiments[0].Metrics {
+		if m.Name == "" || m.Unit == "" {
+			t.Fatalf("metric missing name/unit: %+v", m)
+		}
 	}
 }

@@ -53,6 +53,7 @@ func Uncontended(seed uint64) *Table {
 	for _, k := range []locks.Kind{locks.KindMCS, locks.KindH1MCS, locks.KindH2MCS, locks.KindSpin} {
 		us, _ := workload.UncontendedPair(seed, k)
 		t.AddRow(k.String(), f2(us), paper[k])
+		t.AddMetric(fmt.Sprintf("%s.uncontended_pair", k), us, "us")
 	}
 	mcs, _ := workload.UncontendedPair(seed, locks.KindMCS)
 	h2, _ := workload.UncontendedPair(seed, locks.KindH2MCS)
@@ -89,6 +90,9 @@ func Figure5(seed uint64, holdUS float64, rounds int) *Table {
 		}
 		t.AddRow(row...)
 	}
+	for _, k := range figure5Kinds {
+		t.AddMetric(fmt.Sprintf("%s.acquire_p16", k), results[k][16].AcquireUS, "us")
+	}
 	if holdUS > 0 {
 		r := results[locks.KindSpin2ms][16]
 		t.Note("Spin-2ms at p=16: %.1f%% of acquires took >2ms (paper: >13%%); max %.0fus",
@@ -121,6 +125,10 @@ func Figure7a(seed uint64, rounds int) *Table {
 		dl := workload.IndependentFaults(faultSystem(seed, 16, locks.KindH2MCS), p, 4, rounds)
 		sp := workload.IndependentFaults(faultSystem(seed, 16, locks.KindSpin), p, 4, rounds)
 		t.AddRow(fmt.Sprintf("%d", p), f1(dl.Dist.Mean()), f1(sp.Dist.Mean()))
+		if p == 16 {
+			t.AddMetric("distributed.fault_p16", dl.Dist.Mean(), "us")
+			t.AddMetric("spin.fault_p16", sp.Dist.Mean(), "us")
+		}
 	}
 	t.Note("paper: with 16 processors faulting, spin-lock latency is over 2x the distributed-lock latency")
 	return t
@@ -137,6 +145,10 @@ func Figure7b(seed uint64, npages, rounds int) *Table {
 		dl := workload.SharedFaults(faultSystem(seed, 16, locks.KindH2MCS), p, npages, rounds)
 		sp := workload.SharedFaults(faultSystem(seed, 16, locks.KindSpin), p, npages, rounds)
 		t.AddRow(fmt.Sprintf("%d", p), f1(dl.Dist.Mean()), f1(sp.Dist.Mean()))
+		if p == 16 {
+			t.AddMetric("distributed.fault_p16", dl.Dist.Mean(), "us")
+			t.AddMetric("spin.fault_p16", sp.Dist.Mean(), "us")
+		}
 	}
 	t.Note("paper: the gap between lock types is much smaller than 7a (contention moves to the reserve bits)")
 	return t
@@ -152,6 +164,7 @@ func Figure7c(seed uint64, rounds int) *Table {
 	for _, cs := range ClusterSizes {
 		dl := workload.IndependentFaults(faultSystem(seed, cs, locks.KindH2MCS), 16, 4, rounds)
 		t.AddRow(fmt.Sprintf("%d", cs), f1(dl.Dist.Mean()))
+		t.AddMetric(fmt.Sprintf("fault_cs%d", cs), dl.Dist.Mean(), "us")
 	}
 	// The paper's equivalence check: 16 procs in 4 clusters of 4 should
 	// match 4 procs in one 16-proc cluster.
@@ -174,6 +187,7 @@ func Figure7d(seed uint64, npages, rounds int) *Table {
 		dl := workload.SharedFaults(faultSystem(seed, cs, locks.KindH2MCS), 16, npages, rounds)
 		t.AddRow(fmt.Sprintf("%d", cs), f1(dl.Dist.Mean()),
 			d(dl.Stats.CoherenceRPCs), d(dl.Replications))
+		t.AddMetric(fmt.Sprintf("fault_cs%d", cs), dl.Dist.Mean(), "us")
 	}
 	t.Note("paper: moderate cluster sizes perform best; very small sizes are dominated by inter-cluster operations")
 	return t
@@ -233,5 +247,9 @@ func Calibration(seed uint64) *Table {
 	t.AddRow("soft page fault (us)", f1(fault.Microseconds()), "160")
 	t.AddRow("fault lock overhead (us)", f1(faultLock.Microseconds()), "40")
 	t.AddRow("lookup+replicate 3 descriptors (us)", f1(replication.Microseconds()), "~88 per descriptor incl. lookup")
+	t.AddMetric("null_rpc", nullRPC.Microseconds(), "us")
+	t.AddMetric("soft_fault", fault.Microseconds(), "us")
+	t.AddMetric("fault_lock_overhead", faultLock.Microseconds(), "us")
+	t.AddMetric("replication", replication.Microseconds(), "us")
 	return t
 }

@@ -40,6 +40,9 @@ func NewAdaptive(m *sim.Machine, home int) *Adaptive {
 // Name implements Lock.
 func (l *Adaptive) Name() string { return "Adaptive" }
 
+// Word exposes the fast-path word address (for tests).
+func (l *Adaptive) Word() sim.Addr { return l.word }
+
 // Acquire implements Lock.
 func (l *Adaptive) Acquire(p *sim.Proc) {
 	p.Reg(1)

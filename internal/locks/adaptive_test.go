@@ -58,6 +58,139 @@ func TestAdaptiveContendedNearFIFO(t *testing.T) {
 	}
 }
 
+// TestAdaptiveGrantRestore drives the grant-restore path deterministically:
+// a releaser hands the lock to the queue head by writing adGranted, and a
+// fast-path TryAcquire swap consumes the grant before the head's next poll.
+// The trier must restore the grant (Store adGranted back) so the head still
+// gets the lock — a lost hand-off would leave the head polling forever.
+func TestAdaptiveGrantRestore(t *testing.T) {
+	m := sim.NewMachine(sim.Config{Seed: 31})
+	l := NewAdaptive(m, 0)
+	// A huge head backoff makes the queue head's polls sparse, so the
+	// trier (woken within a memory access of the grant store) always wins
+	// the race for the granted word.
+	l.HeadBackoff = sim.Micros(100000)
+	hold := sim.Micros(10000)
+
+	var (
+		headAcquired bool
+		tryResult    = -1 // -1 not run, 0 false, 1 true
+		wordAfterTry uint64
+		inCS         int
+	)
+	// Holder: takes the lock uncontended, holds long enough for the head's
+	// backoff to grow, then releases — storing adGranted because the queue
+	// is non-empty.
+	m.Go(0, func(p *sim.Proc) {
+		l.Acquire(p)
+		inCS++
+		p.Think(hold)
+		inCS--
+		l.Release(p)
+	})
+	// Queue head: arrives second, joins the MCS queue, polls the word.
+	m.Go(1, func(p *sim.Proc) {
+		p.Think(sim.Micros(5))
+		l.Acquire(p)
+		inCS++
+		if inCS != 1 {
+			t.Errorf("%d processors in critical section", inCS)
+		}
+		headAcquired = true
+		p.Think(sim.Micros(10))
+		inCS--
+		l.Release(p)
+	})
+	// Trier: watches for the grant, then fires one TryAcquire into it. The
+	// swap consumes adGranted; the restore path must put it back.
+	m.Go(2, func(p *sim.Proc) {
+		p.WaitLocal(l.Word(), func(v uint64) bool { return v == adGranted })
+		ok := l.TryAcquire(p)
+		if ok {
+			tryResult = 1
+			l.Release(p)
+			return
+		}
+		tryResult = 0
+		wordAfterTry = m.Mem.Peek(l.Word())
+	})
+	m.RunAll()
+	m.Shutdown()
+
+	if tryResult != 0 {
+		t.Fatalf("TryAcquire on a granted word: result=%d, want 0 (failure with restore)", tryResult)
+	}
+	if wordAfterTry != adGranted {
+		t.Fatalf("word after failed TryAcquire = %d, want adGranted (%d): hand-off lost", wordAfterTry, adGranted)
+	}
+	if !headAcquired {
+		t.Fatal("queue head never acquired the lock: hand-off lost")
+	}
+	if got := m.Mem.Peek(l.Word()); got != adFree {
+		t.Fatalf("final word = %d, want adFree", got)
+	}
+}
+
+// TestAdaptiveNoLostHandoffAcrossSeeds stresses the same interaction
+// non-surgically: blocking acquirers and fast-path triers interleave over
+// several seeds, and every blocking acquirer must complete — a consumed
+// but unrestored grant would leave the queue head polling past the
+// deadline. Run with a bounded clock so a lost hand-off fails instead of
+// hanging the suite.
+func TestAdaptiveNoLostHandoffAcrossSeeds(t *testing.T) {
+	const (
+		acquirers = 6
+		triers    = 4
+		rounds    = 15
+		tries     = 40
+	)
+	for seed := uint64(1); seed <= 6; seed++ {
+		m := sim.NewMachine(sim.Config{Seed: seed})
+		l := NewAdaptive(m, 0)
+		inCS := 0
+		completed := 0
+		for i := 0; i < acquirers; i++ {
+			m.Go(i, func(p *sim.Proc) {
+				for r := 0; r < rounds; r++ {
+					l.Acquire(p)
+					inCS++
+					if inCS != 1 {
+						t.Errorf("seed %d: %d processors in critical section", seed, inCS)
+					}
+					p.Think(p.RNG().Duration(sim.Micros(8)))
+					inCS--
+					l.Release(p)
+					p.Think(p.RNG().Duration(sim.Micros(10)))
+				}
+				completed++
+			})
+		}
+		for i := 0; i < triers; i++ {
+			m.Go(acquirers+i, func(p *sim.Proc) {
+				for k := 0; k < tries; k++ {
+					if l.TryAcquire(p) {
+						inCS++
+						if inCS != 1 {
+							t.Errorf("seed %d: %d processors in critical section (trier)", seed, inCS)
+						}
+						p.Think(p.RNG().Duration(sim.Micros(4)))
+						inCS--
+						l.Release(p)
+					}
+					p.Think(sim.Micros(3) + p.RNG().Duration(sim.Micros(6)))
+				}
+			})
+		}
+		m.Eng.Run(sim.Micros(5_000_000)) // generous bound; a lost hand-off never finishes
+		if completed != acquirers {
+			t.Fatalf("seed %d: %d/%d acquirers completed — hand-off lost", seed, completed, acquirers)
+		}
+		if m.Eng.Pending() == 0 {
+			m.Shutdown()
+		}
+	}
+}
+
 func TestAdaptiveTryAcquire(t *testing.T) {
 	m := sim.NewMachine(sim.Config{Seed: 24})
 	l := NewAdaptive(m, 3)

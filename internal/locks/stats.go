@@ -1,0 +1,155 @@
+package locks
+
+import (
+	"fmt"
+	"strings"
+
+	"hurricane/internal/sim"
+	"hurricane/internal/stats"
+)
+
+// Stats wraps a Lock and accumulates the per-lock telemetry the paper's
+// instrumented kernel collected: acquisition counts, acquire-latency and
+// hold-time distributions, queue depth at arrival, and the topological
+// distance each hand-off travelled (previous holder's module → next
+// holder's module: same module, same station, or across the ring). It
+// implements Lock (and TryAcquire when the wrapped lock does), so any
+// experiment can swap it in without touching the algorithm under test.
+//
+// When a tracer is installed on the machine, Stats also emits wait and
+// hold spans, so a Chrome trace shows who waited on what and for how long.
+type Stats struct {
+	inner Lock
+	m     *sim.Machine
+
+	// Acquisitions counts completed Acquire calls in the current window.
+	Acquisitions uint64
+	// TryAttempts/TrySuccesses count TryAcquire outcomes.
+	TryAttempts, TrySuccesses uint64
+	// AcquireUS and HoldUS are distributions of acquire latency and hold
+	// time in microseconds.
+	AcquireUS, HoldUS stats.Dist
+	// QueueDepth is the distribution of contenders (waiters + holder)
+	// observed at each Acquire arrival, before the arrival joins.
+	QueueDepth stats.Dist
+	// MaxQueueDepth is the largest depth including the new arrival.
+	MaxQueueDepth int
+	// Handoffs counts lock transfers by topological distance from the
+	// previous holder; the first acquisition of a window is not counted.
+	Handoffs [3]uint64 // indexed by sim.DistClass
+
+	waiting    int
+	holding    int // 0 or 1
+	lastHolder int // module of the previous holder, -1 before any release
+	acquiredAt sim.Time
+}
+
+// NewStats wraps l with telemetry on machine m.
+func NewStats(m *sim.Machine, l Lock) *Stats {
+	return &Stats{inner: l, m: m, lastHolder: -1}
+}
+
+// Inner returns the wrapped lock.
+func (s *Stats) Inner() Lock { return s.inner }
+
+// Name implements Lock.
+func (s *Stats) Name() string { return s.inner.Name() }
+
+// ResetWindow discards accumulated telemetry, e.g. after a warm-up phase.
+// In-progress acquisitions are still tracked (depth counters persist).
+func (s *Stats) ResetWindow() {
+	s.Acquisitions = 0
+	s.TryAttempts = 0
+	s.TrySuccesses = 0
+	s.AcquireUS = stats.Dist{}
+	s.HoldUS = stats.Dist{}
+	s.QueueDepth = stats.Dist{}
+	s.MaxQueueDepth = 0
+	s.Handoffs = [3]uint64{}
+	s.lastHolder = -1
+}
+
+// Acquire implements Lock.
+func (s *Stats) Acquire(p *sim.Proc) {
+	t0 := p.Now()
+	s.QueueDepth.Add(float64(s.waiting + s.holding))
+	s.waiting++
+	if d := s.waiting + s.holding; d > s.MaxQueueDepth {
+		s.MaxQueueDepth = d
+	}
+	s.inner.Acquire(p)
+	s.waiting--
+	s.holding = 1
+	now := p.Now()
+	s.Acquisitions++
+	s.AcquireUS.Add((now - t0).Microseconds())
+	if s.lastHolder >= 0 {
+		s.Handoffs[s.m.Mem.Distance(s.lastHolder, p.ID())]++
+	}
+	s.acquiredAt = now
+	s.m.Eng.Emit(sim.TraceEvent{Kind: sim.EvSpan, Name: "wait " + s.Name(),
+		Proc: p.ID(), Start: t0, End: now, Src: -1, Dst: -1})
+}
+
+// Release implements Lock.
+func (s *Stats) Release(p *sim.Proc) {
+	now := p.Now()
+	s.HoldUS.Add((now - s.acquiredAt).Microseconds())
+	s.lastHolder = p.ID()
+	s.holding = 0
+	s.m.Eng.Emit(sim.TraceEvent{Kind: sim.EvSpan, Name: "hold " + s.Name(),
+		Proc: p.ID(), Start: s.acquiredAt, End: now, Src: -1, Dst: -1})
+	s.inner.Release(p)
+}
+
+// TryAcquire implements TryLocker when the wrapped lock does; it panics
+// otherwise (matching a direct call on a non-try lock, which would not
+// compile).
+func (s *Stats) TryAcquire(p *sim.Proc) bool {
+	tl, ok := s.inner.(TryLocker)
+	if !ok {
+		panic(fmt.Sprintf("locks: TryAcquire on Stats-wrapped %s, which is not a TryLocker", s.inner.Name()))
+	}
+	s.TryAttempts++
+	got := tl.TryAcquire(p)
+	if got {
+		s.TrySuccesses++
+		s.holding = 1
+		s.Acquisitions++
+		now := p.Now()
+		if s.lastHolder >= 0 {
+			s.Handoffs[s.m.Mem.Distance(s.lastHolder, p.ID())]++
+		}
+		s.acquiredAt = now
+	}
+	return got
+}
+
+// HandoffTotal reports the number of counted hand-offs.
+func (s *Stats) HandoffTotal() uint64 {
+	return s.Handoffs[sim.DistLocal] + s.Handoffs[sim.DistStation] + s.Handoffs[sim.DistRing]
+}
+
+// Report renders the accumulated telemetry as an indented text block.
+func (s *Stats) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "lock %s: %d acquisitions", s.Name(), s.Acquisitions)
+	if s.TryAttempts > 0 {
+		fmt.Fprintf(&b, ", %d/%d try-acquires", s.TrySuccesses, s.TryAttempts)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "  acquire (us): mean %.1f  p50 %.1f  p95 %.1f  p99 %.1f  max %.0f\n",
+		s.AcquireUS.Mean(), s.AcquireUS.Percentile(50), s.AcquireUS.Percentile(95),
+		s.AcquireUS.Percentile(99), s.AcquireUS.Max())
+	fmt.Fprintf(&b, "  hold    (us): mean %.1f  p50 %.1f  p95 %.1f  max %.0f\n",
+		s.HoldUS.Mean(), s.HoldUS.Percentile(50), s.HoldUS.Percentile(95), s.HoldUS.Max())
+	fmt.Fprintf(&b, "  queue depth:  mean %.1f  p95 %.0f  max %d\n",
+		s.QueueDepth.Mean(), s.QueueDepth.Percentile(95), s.MaxQueueDepth)
+	if tot := s.HandoffTotal(); tot > 0 {
+		fmt.Fprintf(&b, "  hand-offs:    %d local (%.0f%%), %d station (%.0f%%), %d ring (%.0f%%)\n",
+			s.Handoffs[sim.DistLocal], 100*float64(s.Handoffs[sim.DistLocal])/float64(tot),
+			s.Handoffs[sim.DistStation], 100*float64(s.Handoffs[sim.DistStation])/float64(tot),
+			s.Handoffs[sim.DistRing], 100*float64(s.Handoffs[sim.DistRing])/float64(tot))
+	}
+	return b.String()
+}

@@ -1,0 +1,147 @@
+package locks
+
+import (
+	"strings"
+	"testing"
+
+	"hurricane/internal/sim"
+)
+
+func TestStatsCountsAndDistributions(t *testing.T) {
+	m := sim.NewMachine(sim.Config{Seed: 11})
+	s := NewStats(m, New(m, KindH2MCS, 0))
+	const nprocs, rounds = 8, 10
+	inCS := 0
+	for i := 0; i < nprocs; i++ {
+		m.Go(i, func(p *sim.Proc) {
+			for r := 0; r < rounds; r++ {
+				s.Acquire(p)
+				inCS++
+				if inCS != 1 {
+					t.Errorf("%d processors in critical section", inCS)
+				}
+				p.Think(sim.Micros(10))
+				inCS--
+				s.Release(p)
+				p.Think(p.RNG().Duration(sim.Micros(5)))
+			}
+		})
+	}
+	m.RunAll()
+	m.Shutdown()
+
+	if s.Acquisitions != nprocs*rounds {
+		t.Fatalf("Acquisitions = %d, want %d", s.Acquisitions, nprocs*rounds)
+	}
+	if n := s.AcquireUS.N(); n != nprocs*rounds {
+		t.Fatalf("acquire samples = %d, want %d", n, nprocs*rounds)
+	}
+	if n := s.HoldUS.N(); n != nprocs*rounds {
+		t.Fatalf("hold samples = %d, want %d", n, nprocs*rounds)
+	}
+	// Hold time must be at least the 10us Think (plus release overhead).
+	if min := s.HoldUS.Min(); min < 10 {
+		t.Fatalf("min hold %.2fus < the 10us critical section", min)
+	}
+	// Every hand-off but the first is counted, and with 8 procs on 2
+	// stations some must cross the ring.
+	if tot := s.HandoffTotal(); tot != nprocs*rounds-1 {
+		t.Fatalf("hand-offs = %d, want %d", tot, nprocs*rounds-1)
+	}
+	if s.Handoffs[sim.DistRing] == 0 {
+		t.Fatal("no cross-ring hand-offs recorded for procs spanning stations")
+	}
+	if s.MaxQueueDepth < 2 || s.MaxQueueDepth > nprocs {
+		t.Fatalf("MaxQueueDepth = %d, want in [2, %d]", s.MaxQueueDepth, nprocs)
+	}
+	rep := s.Report()
+	for _, frag := range []string{"H2-MCS", "acquire", "hold", "queue depth", "hand-offs"} {
+		if !strings.Contains(rep, frag) {
+			t.Errorf("Report missing %q:\n%s", frag, rep)
+		}
+	}
+}
+
+func TestStatsResetWindow(t *testing.T) {
+	m := sim.NewMachine(sim.Config{Seed: 12})
+	s := NewStats(m, New(m, KindSpin, 0))
+	m.Go(0, func(p *sim.Proc) {
+		for r := 0; r < 5; r++ {
+			s.Acquire(p)
+			s.Release(p)
+		}
+		s.ResetWindow()
+		for r := 0; r < 3; r++ {
+			s.Acquire(p)
+			s.Release(p)
+		}
+	})
+	m.RunAll()
+	m.Shutdown()
+	if s.Acquisitions != 3 {
+		t.Fatalf("post-reset Acquisitions = %d, want 3", s.Acquisitions)
+	}
+	if s.AcquireUS.N() != 3 || s.HoldUS.N() != 3 {
+		t.Fatalf("post-reset samples = %d/%d, want 3/3", s.AcquireUS.N(), s.HoldUS.N())
+	}
+	// First post-reset acquisition has no previous holder to measure from.
+	if got := s.HandoffTotal(); got != 2 {
+		t.Fatalf("post-reset hand-offs = %d, want 2", got)
+	}
+}
+
+func TestStatsTryAcquire(t *testing.T) {
+	m := sim.NewMachine(sim.Config{Seed: 13})
+	s := NewStats(m, NewSpin(m, 0, sim.Micros(35)))
+	m.Go(0, func(p *sim.Proc) {
+		if !s.TryAcquire(p) {
+			t.Error("try on free lock failed")
+		}
+		if s.TryAcquire(p) {
+			t.Error("try on held lock succeeded")
+		}
+		s.Release(p)
+	})
+	m.RunAll()
+	m.Shutdown()
+	if s.TryAttempts != 2 || s.TrySuccesses != 1 {
+		t.Fatalf("try counters = %d/%d, want 2/1", s.TrySuccesses, s.TryAttempts)
+	}
+	if s.Acquisitions != 1 || s.HoldUS.N() != 1 {
+		t.Fatalf("acquisitions = %d, holds = %d, want 1/1", s.Acquisitions, s.HoldUS.N())
+	}
+}
+
+// TestStatsEmitsSpans checks the wrapper emits wait/hold spans when a
+// tracer is installed.
+func TestStatsEmitsSpans(t *testing.T) {
+	m := sim.NewMachine(sim.Config{Seed: 14})
+	tr := sim.NewChromeTracer()
+	m.SetTracer(tr)
+	s := NewStats(m, New(m, KindH2MCS, 0))
+	m.Go(0, func(p *sim.Proc) {
+		s.Acquire(p)
+		p.Think(sim.Micros(5))
+		s.Release(p)
+	})
+	m.RunAll()
+	m.Shutdown()
+	var waits, holds int
+	for _, ev := range tr.Events() {
+		if ev.Kind != sim.EvSpan {
+			continue
+		}
+		if strings.HasPrefix(ev.Name, "wait ") {
+			waits++
+		}
+		if strings.HasPrefix(ev.Name, "hold ") {
+			holds++
+			if got := (ev.End - ev.Start).Microseconds(); got < 5 {
+				t.Errorf("hold span %.2fus < the 5us critical section", got)
+			}
+		}
+	}
+	if waits != 1 || holds != 1 {
+		t.Fatalf("spans: waits=%d holds=%d, want 1/1", waits, holds)
+	}
+}

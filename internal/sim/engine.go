@@ -44,6 +44,8 @@ type Engine struct {
 	stopped bool
 	// processed counts events dispatched, as a progress/≈cost metric.
 	processed uint64
+	// tracer, when non-nil, observes typed machine events (see tracer.go).
+	tracer Tracer
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -70,16 +72,30 @@ func (e *Engine) At(t Time, fn func()) {
 // After schedules fn to run d cycles from now.
 func (e *Engine) After(d Duration, fn func()) { e.At(e.now+d, fn) }
 
-// Stop makes Run return after the current event completes.
+// Stop makes Run return after the current event completes. The request is
+// sticky: if no Run is in progress (Stop issued from a completion callback
+// after the queue drained, or between Run calls), the next Run observes it
+// and returns immediately instead of silently discarding it.
 func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether a Stop request is pending (issued but not yet
+// observed by a Run call).
+func (e *Engine) Stopped() bool { return e.stopped }
 
 // Run dispatches events in order until the queue is empty, Stop is called,
 // or the clock would pass until (events at exactly until still run). It
-// returns the number of events processed by this call.
+// returns the number of events processed by this call. A pending Stop is
+// consumed exactly when it is observed — when it prevents a dispatch that
+// would otherwise have happened — so a Stop whose Run drained the queue
+// anyway (or that was issued between Runs) still halts the next Run
+// instead of being silently cleared.
 func (e *Engine) Run(until Time) uint64 {
 	start := e.processed
-	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
+	for len(e.events) > 0 {
+		if e.stopped {
+			e.stopped = false
+			break
+		}
 		if e.events[0].at > until {
 			break
 		}

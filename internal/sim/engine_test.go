@@ -188,15 +188,88 @@ func TestResourceQueueing(t *testing.T) {
 	if r.MaxQueue != 5 {
 		t.Fatalf("MaxQueue = %d, want 5", r.MaxQueue)
 	}
-	if u := r.Utilization(300); u != 0.1 {
+	if u := r.Utilization(0, 300); u != 0.1 {
 		t.Fatalf("utilization = %v, want 0.1", u)
 	}
-	r.ResetStats()
-	if r.Requests != 0 || r.Busy != 0 || r.MaxQueue != 0 {
+	if u := r.WindowUtilization(300); u != 0.1 {
+		t.Fatalf("window utilization = %v, want 0.1", u)
+	}
+	r.ResetStats(300)
+	if r.Requests != 0 || r.Busy != 0 || r.MaxQueue != 0 || r.Queued != 0 {
 		t.Fatal("ResetStats did not clear")
 	}
 	if r.BusyUntil() != 210 {
 		t.Fatalf("ResetStats must not clear timing state: busyUntil=%v", r.BusyUntil())
+	}
+	if r.WindowStart() != 300 {
+		t.Fatalf("WindowStart = %v, want 300", r.WindowStart())
+	}
+}
+
+// TestResourceWindowedUtilization is the regression test for the warm-up
+// reset bug: before the fix, Utilization after ResetStats divided the
+// window-local busy time by time since 0, under-reporting utilization by
+// the warm-up fraction.
+func TestResourceWindowedUtilization(t *testing.T) {
+	var r Resource
+	// Warm-up: 1000 cycles of activity in [0, 1000].
+	r.Acquire(0, 1000)
+	r.ResetStats(1000)
+	// Measurement window [1000, 2000]: 500 busy cycles => 50% utilization.
+	r.Acquire(1000, 250)
+	r.Acquire(1500, 250)
+	if got, want := r.WindowUtilization(2000), 0.5; got != want {
+		t.Fatalf("windowed utilization after reset = %v, want %v (dividing by total elapsed time would give 0.25)", got, want)
+	}
+	if got := r.Utilization(r.WindowStart(), 2000); got != 0.5 {
+		t.Fatalf("Utilization(windowStart, now) = %v, want 0.5", got)
+	}
+	if r.Requests != 2 {
+		t.Fatalf("window Requests = %d, want 2", r.Requests)
+	}
+}
+
+// TestResourceResetCarriesInFlightService checks that a reset issued while
+// a request is still being serviced credits the remaining service time to
+// the new window instead of dropping it.
+func TestResourceResetCarriesInFlightService(t *testing.T) {
+	var r Resource
+	r.Acquire(0, 100) // busy through t=100
+	r.ResetStats(50)  // reset mid-service
+	// Window [50, 100] is fully busy with the in-flight request.
+	if got := r.WindowUtilization(100); got != 1.0 {
+		t.Fatalf("in-flight service lost: utilization = %v, want 1.0", got)
+	}
+}
+
+// TestEngineStopSticky checks the Stop-between-Runs fix: a Stop issued
+// after the queue drained (e.g. from a completion callback) must make the
+// next Run return immediately instead of being silently cleared.
+func TestEngineStopSticky(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(10, func() { ran++; e.Stop() }) // callback stops after the queue drained
+	e.RunAll()
+	if ran != 1 {
+		t.Fatalf("first run dispatched %d events, want 1", ran)
+	}
+	if !e.Stopped() {
+		t.Fatal("Stop not pending after queue drained")
+	}
+	// The stop must survive until the next Run observes it.
+	e.At(20, func() { ran++ })
+	if n := e.Run(100); n != 0 {
+		t.Fatalf("Run after pending Stop dispatched %d events, want 0", n)
+	}
+	if e.Stopped() {
+		t.Fatal("observed Stop not cleared")
+	}
+	// With the stop consumed, the queued event now runs.
+	if n := e.Run(100); n != 1 {
+		t.Fatalf("Run after consumed Stop dispatched %d events, want 1", n)
+	}
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2", ran)
 	}
 }
 

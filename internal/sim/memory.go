@@ -118,11 +118,19 @@ func (m *Memory) Alloc(module, n int) Addr {
 		panic(fmt.Sprintf("sim: Alloc on module %d of %d", module, len(m.data)))
 	}
 	off := len(m.data[module])
-	if uint64(off)+uint64(n) >= 1<<moduleShift {
+	if !offsetFits(uint64(off), uint64(n)) {
 		panic("sim: module address space exhausted")
 	}
 	m.data[module] = append(m.data[module], make([]uint64, n)...)
 	return Addr(uint64(module)<<moduleShift | uint64(off))
+}
+
+// offsetFits reports whether n words starting at offset off stay within a
+// module's 1<<moduleShift-word address space. An allocation that exactly
+// fills the space (off+n == 1<<moduleShift) is legal: the last word's
+// offset is 1<<moduleShift-1, still representable.
+func offsetFits(off, n uint64) bool {
+	return off+n <= 1<<moduleShift
 }
 
 func (m *Memory) word(a Addr) *uint64 {
@@ -154,15 +162,30 @@ func (m *Memory) Bus(i int) *Resource { return &m.buses[i] }
 // Ring exposes the ring's resource counters.
 func (m *Memory) Ring() *Resource { return &m.ring }
 
-// ResetStats clears the utilization counters of every resource.
+// ResetStats opens a fresh accounting window on every resource at the
+// current simulated time, clearing the utilization counters. Utilization
+// read afterwards covers only activity since this call.
 func (m *Memory) ResetStats() {
+	now := m.eng.Now()
 	for i := range m.modules {
-		m.modules[i].ResetStats()
+		m.modules[i].ResetStats(now)
 	}
 	for i := range m.buses {
-		m.buses[i].ResetStats()
+		m.buses[i].ResetStats(now)
 	}
-	m.ring.ResetStats()
+	m.ring.ResetStats(now)
+}
+
+// Resources calls fn for every memory-system resource (modules, then
+// buses, then the ring), for utilization reports.
+func (m *Memory) Resources(fn func(*Resource)) {
+	for i := range m.modules {
+		fn(&m.modules[i])
+	}
+	for i := range m.buses {
+		fn(&m.buses[i])
+	}
+	fn(&m.ring)
 }
 
 // access performs one memory reference for processor p. kind selects the
@@ -177,6 +200,9 @@ const (
 	accSwap
 	accCAS
 )
+
+// accessNames label trace events by operation.
+var accessNames = [...]string{accLoad: "load", accStore: "store", accSwap: "swap", accCAS: "cas"}
 
 func (m *Memory) access(p *Proc, a Addr, kind accessKind, operand, expect uint64) (old uint64, done Time, ok bool) {
 	src := p.module
@@ -211,6 +237,14 @@ func (m *Memory) access(p *Proc, a Addr, kind accessKind, operand, expect uint64
 
 	queueDelay := t - now
 	done = now + queueDelay + base + extra
+
+	if m.eng.tracer != nil {
+		m.eng.tracer.Event(TraceEvent{
+			Kind: EvAccess, Name: accessNames[kind], Proc: p.id,
+			Start: now, End: done,
+			Src: src, Dst: dst, Dist: m.Distance(src, dst), Arg: uint64(a),
+		})
+	}
 
 	w := m.word(a)
 	old = *w

@@ -149,6 +149,11 @@ func (p *Proc) sleepUntil(t Time) {
 // unparkAt later.
 func (p *Proc) park() {
 	p.parked = true
+	if p.eng.tracer != nil {
+		now := p.eng.Now()
+		p.eng.tracer.Event(TraceEvent{Kind: EvPark, Name: "park", Proc: p.id,
+			Start: now, End: now, Src: -1, Dst: -1})
+	}
 	p.block()
 }
 
@@ -167,6 +172,10 @@ func (p *Proc) unparkAt(t Time) {
 		return
 	}
 	p.parked = false
+	if p.eng.tracer != nil {
+		p.eng.tracer.Event(TraceEvent{Kind: EvUnpark, Name: "unpark", Proc: p.id,
+			Start: t, End: t, Src: -1, Dst: -1})
+	}
 	p.eng.At(t, p.wakeEvent)
 }
 
@@ -300,6 +309,11 @@ func (p *Proc) PendingIRQs() int { return len(p.pendingIRQ) }
 
 // postIRQ enqueues an interrupt; called from engine context by SendIPI.
 func (p *Proc) postIRQ(h IRQHandler) {
+	if p.eng.tracer != nil {
+		now := p.eng.Now()
+		p.eng.tracer.Event(TraceEvent{Kind: EvIRQ, Name: "irq", Proc: p.id,
+			Start: now, End: now, Src: -1, Dst: -1})
+	}
 	p.pendingIRQ = append(p.pendingIRQ, h)
 	p.unparkAt(p.eng.Now())
 }

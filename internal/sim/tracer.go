@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// DistClass is the topological distance of a memory access on the simulated
+// machine: same processor-memory module, same station, or across the ring.
+// It is the unit the paper reasons in — "remote" spinning is anything past
+// DistLocal.
+type DistClass int
+
+const (
+	DistLocal DistClass = iota
+	DistStation
+	DistRing
+)
+
+// String names the distance class for reports and trace args.
+func (d DistClass) String() string {
+	switch d {
+	case DistLocal:
+		return "local"
+	case DistStation:
+		return "station"
+	case DistRing:
+		return "ring"
+	}
+	return fmt.Sprintf("DistClass(%d)", int(d))
+}
+
+// Distance classifies the topological distance from module src to module
+// dst given the machine's station grouping.
+func (m *Memory) Distance(src, dst int) DistClass {
+	switch {
+	case src == dst:
+		return DistLocal
+	case m.stationOf(src) == m.stationOf(dst):
+		return DistStation
+	default:
+		return DistRing
+	}
+}
+
+// EventKind is the type of a trace event.
+type EventKind int
+
+const (
+	// EvAccess is one memory reference (load/store/swap/cas) from a
+	// processor to a module, spanning issue to completion.
+	EvAccess EventKind = iota
+	// EvPark marks a processor blocking with no scheduled wake-up.
+	EvPark
+	// EvUnpark marks a parked processor being rescheduled.
+	EvUnpark
+	// EvIRQ marks delivery of an inter-processor interrupt.
+	EvIRQ
+	// EvSpan is a generic duration event (lock wait, lock hold, critical
+	// section) emitted by instrumentation layered above the machine.
+	EvSpan
+	// EvInstant is a generic point event emitted by instrumentation.
+	EvInstant
+)
+
+// String names the kind for the trace category field.
+func (k EventKind) String() string {
+	switch k {
+	case EvAccess:
+		return "mem"
+	case EvPark, EvUnpark:
+		return "sched"
+	case EvIRQ:
+		return "irq"
+	case EvSpan:
+		return "span"
+	case EvInstant:
+		return "instant"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// TraceEvent is one typed record of simulated activity. Start==End for
+// point events; Src/Dst are memory modules (-1 when not applicable).
+type TraceEvent struct {
+	Kind  EventKind
+	Name  string
+	Proc  int // processor id; the trace row the event renders on
+	Start Time
+	End   Time
+	Src   int // source module of a memory access, -1 otherwise
+	Dst   int // destination module of a memory access, -1 otherwise
+	Dist  DistClass
+	Arg   uint64 // kind-specific payload (e.g. the address accessed)
+}
+
+// Tracer receives typed events from the machine (memory accesses,
+// park/unpark, IRQ delivery) and from instrumentation built on top of it
+// (lock wait/hold spans). A nil tracer costs one pointer check per
+// potential event.
+type Tracer interface {
+	Event(TraceEvent)
+}
+
+// SetTracer installs (or, with nil, removes) the tracer that observes this
+// engine's machine.
+func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
+
+// Tracer reports the installed tracer, nil if none.
+func (e *Engine) Tracer() Tracer { return e.tracer }
+
+// Emit forwards an event to the installed tracer, if any. Instrumentation
+// code calls this so it need not track whether tracing is on.
+func (e *Engine) Emit(ev TraceEvent) {
+	if e.tracer != nil {
+		e.tracer.Event(ev)
+	}
+}
+
+// SetTracer installs the tracer on the machine's engine.
+func (m *Machine) SetTracer(t Tracer) { m.Eng.SetTracer(t) }
+
+// --- Chrome trace-event exporter ---
+
+// ChromeTracer collects trace events and renders them in the Chrome
+// trace-event JSON format, loadable in chrome://tracing and Perfetto.
+// Processors appear as threads of one process; durations are complete
+// ("X") events; park/unpark and instants are thread-scoped instant ("i")
+// events. Timestamps are microseconds of simulated time.
+type ChromeTracer struct {
+	// MaxEvents caps the number of retained events (0 = unlimited); once
+	// reached, further events are counted but dropped, and the count is
+	// recorded in the trace metadata.
+	MaxEvents int
+
+	events  []TraceEvent
+	dropped uint64
+}
+
+// NewChromeTracer returns an empty collector.
+func NewChromeTracer() *ChromeTracer { return &ChromeTracer{} }
+
+// Event implements Tracer.
+func (c *ChromeTracer) Event(ev TraceEvent) {
+	if c.MaxEvents > 0 && len(c.events) >= c.MaxEvents {
+		c.dropped++
+		return
+	}
+	c.events = append(c.events, ev)
+}
+
+// Events exposes the collected events (for tests and custom reports).
+func (c *ChromeTracer) Events() []TraceEvent { return c.events }
+
+// Dropped reports how many events were discarded by the MaxEvents cap.
+func (c *ChromeTracer) Dropped() uint64 { return c.dropped }
+
+// chromeEvent is one JSON record of the trace-event format.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat"`
+	Ph   string                 `json:"ph"`
+	TS   float64                `json:"ts"`
+	Dur  *float64               `json:"dur,omitempty"`
+	PID  int                    `json:"pid"`
+	TID  int                    `json:"tid"`
+	S    string                 `json:"s,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON object format of the trace-event spec.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent          `json:"traceEvents"`
+	DisplayTimeUnit string                 `json:"displayTimeUnit"`
+	OtherData       map[string]interface{} `json:"otherData,omitempty"`
+}
+
+// Export renders the collected events as Chrome trace-event JSON.
+func (c *ChromeTracer) Export(w io.Writer) error {
+	out := chromeTrace{
+		TraceEvents:     make([]chromeEvent, 0, len(c.events)),
+		DisplayTimeUnit: "ms",
+	}
+	if c.dropped > 0 {
+		out.OtherData = map[string]interface{}{"droppedEvents": c.dropped}
+	}
+	for _, ev := range c.events {
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  ev.Kind.String(),
+			TS:   ev.Start.Microseconds(),
+			PID:  0,
+			TID:  ev.Proc,
+		}
+		switch ev.Kind {
+		case EvAccess:
+			dur := (ev.End - ev.Start).Microseconds()
+			ce.Ph = "X"
+			ce.Dur = &dur
+			ce.Args = map[string]interface{}{
+				"src":  ev.Src,
+				"dst":  ev.Dst,
+				"dist": ev.Dist.String(),
+				"addr": ev.Arg,
+			}
+		case EvSpan:
+			dur := (ev.End - ev.Start).Microseconds()
+			ce.Ph = "X"
+			ce.Dur = &dur
+		default:
+			ce.Ph = "i"
+			ce.S = "t"
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

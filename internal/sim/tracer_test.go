@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestTracerObservesMachine checks that a tracer installed on the machine
+// sees memory accesses (with correct distance classes) and scheduling
+// events from a real simulated program.
+func TestTracerObservesMachine(t *testing.T) {
+	m := NewMachine(Config{Seed: 1})
+	tr := NewChromeTracer()
+	m.SetTracer(tr)
+
+	local := m.Alloc(0, 1)   // proc 0's own module
+	station := m.Alloc(1, 1) // same station (procs/station = 4)
+	remote := m.Alloc(12, 1) // across the ring
+	m.Go(0, func(p *Proc) {
+		p.Store(local, 1)
+		p.Load(station)
+		p.Swap(remote, 7)
+	})
+	m.RunAll()
+	m.Shutdown()
+
+	want := map[string]DistClass{"store": DistLocal, "load": DistStation, "swap": DistRing}
+	seen := map[string]bool{}
+	for _, ev := range tr.Events() {
+		if ev.Kind != EvAccess {
+			continue
+		}
+		if ev.Proc != 0 {
+			t.Errorf("access event from proc %d, want 0", ev.Proc)
+		}
+		if ev.End <= ev.Start {
+			t.Errorf("%s access has non-positive duration [%v, %v]", ev.Name, ev.Start, ev.End)
+		}
+		if d, ok := want[ev.Name]; ok {
+			if ev.Dist != d {
+				t.Errorf("%s access dist = %v, want %v", ev.Name, ev.Dist, d)
+			}
+			seen[ev.Name] = true
+		}
+	}
+	for name := range want {
+		if !seen[name] {
+			t.Errorf("no %s access event traced", name)
+		}
+	}
+}
+
+// TestTracerParkUnpark checks scheduling events are emitted for a processor
+// that blocks on a memory watch and is woken by a write.
+func TestTracerParkUnpark(t *testing.T) {
+	m := NewMachine(Config{Seed: 2})
+	tr := NewChromeTracer()
+	m.SetTracer(tr)
+	flag := m.Alloc(0, 1)
+	m.Go(1, func(p *Proc) {
+		p.WaitLocal(flag, func(v uint64) bool { return v == 1 })
+	})
+	m.Go(2, func(p *Proc) {
+		p.Think(Micros(5))
+		p.Store(flag, 1)
+	})
+	m.RunAll()
+	m.Shutdown()
+	var parks, unparks int
+	for _, ev := range tr.Events() {
+		switch ev.Kind {
+		case EvPark:
+			parks++
+		case EvUnpark:
+			unparks++
+		}
+	}
+	if parks == 0 || unparks == 0 {
+		t.Fatalf("parks=%d unparks=%d, want both > 0", parks, unparks)
+	}
+}
+
+// TestChromeTraceSchema validates the exported JSON against the Chrome
+// trace-event format: a traceEvents array whose members carry name/cat/ph/
+// ts/pid/tid, with dur on complete ("X") events and a scope on instant
+// ("i") events — the invariants chrome://tracing and Perfetto require.
+func TestChromeTraceSchema(t *testing.T) {
+	m := NewMachine(Config{Seed: 3})
+	tr := NewChromeTracer()
+	m.SetTracer(tr)
+	a := m.Alloc(0, 1)
+	flag := m.Alloc(2, 1)
+	m.Go(0, func(p *Proc) {
+		p.Store(a, 1)
+		p.Swap(a, 2)
+		p.WaitLocal(flag, func(v uint64) bool { return v == 9 })
+	})
+	m.Go(1, func(p *Proc) {
+		p.Think(Micros(3))
+		p.Store(flag, 9)
+	})
+	// An instrumentation-level span, as locks.Stats emits.
+	m.Eng.Emit(TraceEvent{Kind: EvSpan, Name: "hold X", Proc: 0, Start: 0, End: 16, Src: -1, Dst: -1})
+	m.RunAll()
+	m.Shutdown()
+
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+		Unit        string                   `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	if doc.Unit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.Unit)
+	}
+	sawComplete, sawInstant := false, false
+	for i, ev := range doc.TraceEvents {
+		for _, key := range []string{"name", "cat", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event %d missing required key %q: %v", i, key, ev)
+			}
+		}
+		ts, ok := ev["ts"].(float64)
+		if !ok || ts < 0 {
+			t.Fatalf("event %d ts invalid: %v", i, ev["ts"])
+		}
+		switch ph := ev["ph"]; ph {
+		case "X":
+			sawComplete = true
+			dur, ok := ev["dur"].(float64)
+			if !ok || dur < 0 {
+				t.Fatalf("complete event %d has invalid dur: %v", i, ev["dur"])
+			}
+		case "i":
+			sawInstant = true
+			if s, ok := ev["s"].(string); !ok || s == "" {
+				t.Fatalf("instant event %d has no scope: %v", i, ev)
+			}
+		default:
+			t.Fatalf("event %d has unexpected phase %v", i, ph)
+		}
+	}
+	if !sawComplete || !sawInstant {
+		t.Fatalf("trace lacks event phases: complete=%v instant=%v", sawComplete, sawInstant)
+	}
+}
+
+// TestChromeTracerMaxEvents checks the retention cap drops (and counts)
+// overflow instead of growing without bound.
+func TestChromeTracerMaxEvents(t *testing.T) {
+	tr := NewChromeTracer()
+	tr.MaxEvents = 2
+	for i := 0; i < 5; i++ {
+		tr.Event(TraceEvent{Kind: EvInstant, Name: "x", Start: Time(i), End: Time(i)})
+	}
+	if len(tr.Events()) != 2 {
+		t.Fatalf("retained %d events, want 2", len(tr.Events()))
+	}
+	if tr.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", tr.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	other, _ := doc["otherData"].(map[string]interface{})
+	if other["droppedEvents"] != float64(3) {
+		t.Fatalf("droppedEvents metadata = %v, want 3", other["droppedEvents"])
+	}
+}
+
+// TestAllocBoundary is the regression test for the off-by-one in Alloc's
+// address-space check: an allocation that exactly fills a module must
+// succeed (the seed code rejected it), one word more must panic.
+func TestAllocBoundary(t *testing.T) {
+	// The check itself, at the exact boundary. Offset 0 is pre-burned, so a
+	// module holds 1<<moduleShift - 1 allocatable words.
+	cases := []struct {
+		off, n uint64
+		want   bool
+	}{
+		{1, 1<<moduleShift - 1, true}, // exact fill — rejected before the fix
+		{1, 1 << moduleShift, false},  // one word past the end
+		{1<<moduleShift - 1, 1, true}, // last single word
+		{1<<moduleShift - 1, 2, false},
+		{1 << moduleShift, 1, false},
+	}
+	for _, c := range cases {
+		if got := offsetFits(c.off, c.n); got != c.want {
+			t.Errorf("offsetFits(%d, %d) = %v, want %v", c.off, c.n, got, c.want)
+		}
+	}
+
+	// End-to-end: an over-large allocation panics before reserving memory.
+	m := NewMachine(Config{Seed: 1})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Alloc past the module boundary did not panic")
+			}
+		}()
+		m.Alloc(0, 1<<moduleShift) // off=1, so this exceeds by exactly one
+	}()
+	// A normal allocation still works afterwards and addresses stay sane.
+	a := m.Alloc(0, 4)
+	if a.Module() != 0 || a.offset() == 0 {
+		t.Fatalf("Alloc after failed attempt returned bad address %#x", uint64(a))
+	}
+}

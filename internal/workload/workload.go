@@ -111,6 +111,103 @@ func LockStress(seed uint64, kind locks.Kind, nprocs, rounds int, hold sim.Durat
 	}
 }
 
+// ResourceUtil is one resource's windowed activity summary.
+type ResourceUtil struct {
+	Name        string
+	Utilization float64
+	Requests    uint64
+	MaxQueueUS  float64
+}
+
+// LockStressObserved is LockStress with the observability layer attached:
+// per-lock telemetry, per-resource windowed utilization over just the
+// measured rounds, and (optionally) a full event trace.
+type LockStressObserved struct {
+	LockStressResult
+	// Lock holds the per-lock telemetry accumulated over the measured
+	// rounds (acquisitions, hold times, queue depth, hand-off distances).
+	Lock *locks.Stats
+	// Window is the measurement window: warm-up rounds run in
+	// [0, WindowStart); stats cover [WindowStart, WindowEnd].
+	WindowStart, WindowEnd sim.Time
+	// Resources summarizes every memory-system resource's windowed
+	// utilization (modules, buses, ring, in that order).
+	Resources []ResourceUtil
+	// HomeModule indexes the lock's home module within Resources.
+	HomeModule int
+}
+
+// LockStressInstrumented runs the LockStress experiment with warmup
+// warm-up rounds per processor excluded from every statistic: after the
+// warm-up all processors barrier, the resource windows and lock telemetry
+// reset, and only then do the measured rounds count. A non-nil tracer
+// observes the whole run (including warm-up).
+func LockStressInstrumented(seed uint64, kind locks.Kind, nprocs, rounds, warmup int, hold sim.Duration, tracer sim.Tracer) *LockStressObserved {
+	const home = 0
+	m := sim.NewMachine(sim.Config{Seed: seed})
+	m.SetTracer(tracer)
+	l := locks.NewStats(m, locks.New(m, kind, home))
+	data := m.Alloc(home, 8)
+	holdWork := func(p *sim.Proc, h sim.Duration) {
+		chunk := sim.Micros(2)
+		for h >= chunk {
+			p.Store(data+sim.Addr(p.ID()%8), uint64(p.ID()))
+			h -= chunk
+			p.Think(chunk - 20)
+		}
+		p.Think(h)
+	}
+	res := &LockStressObserved{Lock: l, HomeModule: home}
+	dist := &stats.Dist{}
+	bar := NewBarrier(nprocs)
+	windowOpen := false
+	for i := 0; i < nprocs; i++ {
+		m.Go(i, func(p *sim.Proc) {
+			for r := 0; r < warmup; r++ {
+				l.Acquire(p)
+				holdWork(p, hold)
+				l.Release(p)
+			}
+			bar.Wait(p)
+			// The first processor to resume opens the measurement window;
+			// the simulator is single-threaded, so this runs before any
+			// post-barrier lock traffic.
+			if !windowOpen {
+				windowOpen = true
+				res.WindowStart = p.Now()
+				m.Mem.ResetStats()
+				l.ResetWindow()
+			}
+			for r := 0; r < rounds; r++ {
+				t0 := p.Now()
+				l.Acquire(p)
+				dist.Add((p.Now() - t0).Microseconds())
+				holdWork(p, hold)
+				l.Release(p)
+			}
+		})
+	}
+	m.RunAll()
+	m.Shutdown()
+	res.WindowEnd = m.Eng.Now()
+	measured := res.WindowEnd - res.WindowStart
+	perOp := float64(measured) / float64(rounds) / sim.CyclesPerMicrosecond
+	res.LockStressResult = LockStressResult{
+		PairUS:      perOp - hold.Microseconds(),
+		AcquireUS:   dist.Mean(),
+		AcquireDist: dist,
+	}
+	m.Mem.Resources(func(r *sim.Resource) {
+		res.Resources = append(res.Resources, ResourceUtil{
+			Name:        r.Name,
+			Utilization: r.Utilization(res.WindowStart, res.WindowEnd),
+			Requests:    r.Requests,
+			MaxQueueUS:  r.MaxQueue.Microseconds(),
+		})
+	})
+	return res
+}
+
 // UncontendedPair measures one warm acquire+release by processor 0 with
 // the lock word cross-ring, like §4.1.1.
 func UncontendedPair(seed uint64, kind locks.Kind) (us float64, counts sim.InstrCounters) {

@@ -184,3 +184,56 @@ func TestProtocolsBothCompleteSharedFaults(t *testing.T) {
 		}
 	}
 }
+
+func TestLockStressInstrumentedWindowing(t *testing.T) {
+	// The observability harness: warm-up rounds must be excluded from both
+	// the latency distribution and the windowed resource utilization.
+	r := LockStressInstrumented(5, locks.KindSpin, 8, 20, 10, sim.Micros(10), nil)
+	if n := r.AcquireDist.N(); n != 8*20 {
+		t.Fatalf("measured samples = %d, want %d (warm-up must not be sampled)", n, 8*20)
+	}
+	if r.Lock.Acquisitions != 8*20 {
+		t.Fatalf("lock window acquisitions = %d, want %d", r.Lock.Acquisitions, 8*20)
+	}
+	if r.WindowStart == 0 {
+		t.Fatal("measurement window never opened")
+	}
+	if r.WindowEnd <= r.WindowStart {
+		t.Fatalf("window [%v, %v] is empty", r.WindowStart, r.WindowEnd)
+	}
+	// The default machine has 16 modules + 4 buses + the ring = 21 resources.
+	if len(r.Resources) != 21 {
+		t.Fatalf("resources = %d, want 21", len(r.Resources))
+	}
+	for _, ru := range r.Resources {
+		if ru.Utilization < 0 || ru.Utilization > 1.05 {
+			t.Errorf("%s windowed utilization %.3f out of range", ru.Name, ru.Utilization)
+		}
+	}
+	// With a spin lock, the home module must be the hottest resource — the
+	// paper's second-order effect, now directly observable.
+	home := r.Resources[r.HomeModule]
+	for i, ru := range r.Resources {
+		if i != r.HomeModule && i < 16 && ru.Utilization > home.Utilization {
+			t.Errorf("module %s (%.2f) hotter than spin lock home %s (%.2f)",
+				ru.Name, ru.Utilization, home.Name, home.Utilization)
+		}
+	}
+}
+
+func TestLockStressInstrumentedSpinVsMCSUtilization(t *testing.T) {
+	// The acceptance check for the observability layer: remote spinning
+	// saturates the lock's home module; the distributed lock does not.
+	spin := LockStressInstrumented(5, locks.KindSpin, 16, 15, 5, sim.Micros(25), nil)
+	mcs := LockStressInstrumented(5, locks.KindH2MCS, 16, 15, 5, sim.Micros(25), nil)
+	su := spin.Resources[spin.HomeModule].Utilization
+	mu := mcs.Resources[mcs.HomeModule].Utilization
+	if su < 2*mu {
+		t.Fatalf("spin home module %.2f not clearly above h2mcs %.2f", su, mu)
+	}
+	// The distributed lock's hand-offs cross the ring (FIFO order over 4
+	// stations); the telemetry must see them.
+	if mcs.Lock.Handoffs[sim.DistRing] == 0 {
+		t.Fatal("h2mcs telemetry recorded no cross-ring hand-offs")
+	}
+}
