@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench results
+.PHONY: ci vet build test race bench results bench-diff bench-baseline
 
-ci: vet build test race
+ci: vet build test race bench-diff
 
 vet:
 	$(GO) vet ./...
@@ -27,3 +27,16 @@ bench:
 # Regenerate every table/figure plus the machine-readable BENCH_sim.json.
 results:
 	$(GO) run ./cmd/hurricane-bench | tee results_full.txt
+
+# Regression gate: regenerate the quick summary and compare it against the
+# checked-in baseline; fails on >5% regression in any us-unit figure
+# metric. The simulation is deterministic, so an unchanged tree diffs
+# exactly.
+bench-diff:
+	$(GO) run ./cmd/hurricane-bench -quick -json BENCH_sim.json > /dev/null
+	$(GO) run ./cmd/bench-diff
+
+# Refresh the checked-in baseline after an intentional performance change
+# (commit the result and explain the shift in the PR).
+bench-baseline:
+	$(GO) run ./cmd/hurricane-bench -quick -json BENCH_sim.baseline.json > /dev/null

@@ -57,6 +57,7 @@ func main() {
 		{"combining", func() *exp.Table { return exp.Combining(*seed) }},
 		{"lockfree", func() *exp.Table { return exp.LockFree(*seed, rounds(40, 15)) }},
 		{"scaling", func() *exp.Table { return exp.Scaling(*seed, rounds(10, 4)) }},
+		{"tuned", func() *exp.Table { return exp.TunedCrossover(*seed, rounds(40, 10)) }},
 	}
 
 	var re *regexp.Regexp

@@ -5,12 +5,19 @@
 //	lockstat -lock h2mcs -procs 16 -hold 25 -rounds 300
 //	lockstat -lock spin2ms -procs 16 -hold 25    # watch the starvation tail
 //	lockstat -lock spin -procs 16 -hold 25 -stats    # per-lock + per-resource telemetry
+//	lockstat -tune -procs 16 -hold 25            # feedback-tuned lock + controller decisions
+//	lockstat -tune -machine numachine64 -procs 64    # tuning on the 64-proc NUMAchine
 //	lockstat -lock h2mcs -procs 4 -rounds 20 -trace out.json   # chrome://tracing / Perfetto
 //
 // With -stats, warm-up rounds (default rounds/4) are excluded from every
 // number by a mid-run statistics reset: latency distributions, lock
 // telemetry and resource utilization all cover only the measurement
 // window, so start-up transients do not dilute steady-state contention.
+//
+// With -tune (or -lock tuned), the lock is the feedback-tuned hybrid and
+// the controller's decision log is printed after the run: per sampling
+// window, the measured home-module utilization, the smoothed wait
+// estimate, and the backoff cap / mode the controller chose.
 package main
 
 import (
@@ -19,22 +26,36 @@ import (
 	"os"
 
 	"hurricane/internal/locks"
+	"hurricane/internal/machine"
 	"hurricane/internal/sim"
+	"hurricane/internal/tune"
 	"hurricane/internal/workload"
 )
 
 var kinds = map[string]locks.Kind{
-	"mcs":     locks.KindMCS,
-	"h1mcs":   locks.KindH1MCS,
-	"h2mcs":   locks.KindH2MCS,
-	"spin":    locks.KindSpin,
-	"spin2ms": locks.KindSpin2ms,
-	"clh":     locks.KindCLH,
+	"mcs":      locks.KindMCS,
+	"h1mcs":    locks.KindH1MCS,
+	"h2mcs":    locks.KindH2MCS,
+	"spin":     locks.KindSpin,
+	"spin2ms":  locks.KindSpin2ms,
+	"clh":      locks.KindCLH,
+	"adaptive": locks.KindAdaptive,
+	"tuned":    locks.KindTuned,
+}
+
+var machines = map[string]struct {
+	cfg      func(seed uint64) sim.Config
+	maxProcs int
+}{
+	"hector16":    {machine.Hector16, 16},
+	"numachine64": {machine.NUMAchine64, 64},
 }
 
 func main() {
-	lock := flag.String("lock", "h2mcs", "mcs | h1mcs | h2mcs | spin | spin2ms | clh")
-	procs := flag.Int("procs", 16, "contending processors (1-16)")
+	lock := flag.String("lock", "h2mcs", "mcs | h1mcs | h2mcs | spin | spin2ms | clh | adaptive | tuned")
+	tuned := flag.Bool("tune", false, "shorthand for -lock tuned; prints the controller's decision log")
+	machineName := flag.String("machine", "hector16", "hector16 | numachine64")
+	procs := flag.Int("procs", 16, "contending processors")
 	holdUS := flag.Float64("hold", 25, "critical-section length in microseconds")
 	rounds := flag.Int("rounds", 300, "acquisitions per processor")
 	warmup := flag.Int("warmup", -1, "warm-up acquisitions per processor excluded from stats (-1 = rounds/4)")
@@ -43,13 +64,21 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the run")
 	flag.Parse()
 
+	if *tuned {
+		*lock = "tuned"
+	}
 	kind, ok := kinds[*lock]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown lock %q; choose one of mcs, h1mcs, h2mcs, spin, spin2ms, clh\n", *lock)
+		fmt.Fprintf(os.Stderr, "unknown lock %q; choose one of mcs, h1mcs, h2mcs, spin, spin2ms, clh, adaptive, tuned\n", *lock)
 		os.Exit(2)
 	}
-	if *procs < 1 || *procs > 16 {
-		fmt.Fprintln(os.Stderr, "procs must be 1-16 (HECTOR has 16 processors)")
+	mc, ok := machines[*machineName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown machine %q; choose hector16 or numachine64\n", *machineName)
+		os.Exit(2)
+	}
+	if *procs < 1 || *procs > mc.maxProcs {
+		fmt.Fprintf(os.Stderr, "procs must be 1-%d (%s)\n", mc.maxProcs, *machineName)
 		os.Exit(2)
 	}
 	if *warmup < 0 {
@@ -67,13 +96,36 @@ func main() {
 		t = tracer
 	}
 
-	r := workload.LockStressInstrumented(*seed, kind, *procs, *rounds, *warmup, sim.Micros(*holdUS), t)
+	// Build through StressConfig so the machine is selectable and, for the
+	// tuned lock, the controller stays reachable for the decision log.
+	var tl *locks.Tuned
+	cfg := workload.StressConfig{
+		Machine: mc.cfg(*seed),
+		Kind:    kind,
+		Procs:   *procs,
+		Rounds:  *rounds,
+		Warmup:  *warmup,
+		Hold:    sim.Micros(*holdUS),
+		Tracer:  t,
+	}
+	if kind == locks.KindTuned {
+		cfg.MakeLock = func(m *sim.Machine, home int) locks.Lock {
+			tl = locks.NewTuned(m, home, tune.Params{})
+			return tl
+		}
+	}
+	r := workload.LockStressRun(cfg)
 	d := r.AcquireDist
 	fmt.Printf("%d procs x %d rounds (+%d warm-up), hold %gus:\n", *procs, *rounds, *warmup, *holdUS)
 	fmt.Printf("  acquire latency (us): mean %.1f  p50 %.1f  p95 %.1f  p99 %.1f  max %.0f\n",
 		d.Mean(), d.Percentile(50), d.Percentile(95), d.Percentile(99), d.Max())
 	fmt.Printf("  acquires over 2ms: %.2f%%\n", d.FracAbove(2000)*100)
 	fmt.Printf("  throughput view: %.1f us/op machine-wide\n", r.PairUS+*holdUS)
+
+	if tl != nil {
+		fmt.Println()
+		fmt.Print(tl.Controller().Report())
+	}
 
 	if *showStats {
 		fmt.Println()

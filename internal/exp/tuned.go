@@ -1,0 +1,167 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"hurricane/internal/locks"
+	"hurricane/internal/machine"
+	"hurricane/internal/sim"
+	"hurricane/internal/tune"
+	"hurricane/internal/workload"
+)
+
+// tunedCrossoverKinds are the fixed-constant locks Tuned is judged against:
+// the two backoff caps of Figure 5, the best queue lock, and the
+// fixed-constant adaptive lock.
+var tunedCrossoverKinds = []locks.Kind{
+	locks.KindSpin, locks.KindSpin2ms, locks.KindH2MCS, locks.KindAdaptive,
+}
+
+// tunedMachines are the two configurations the tuning experiment runs on:
+// the paper's 16-processor HECTOR and the §5.3-style 64-processor
+// NUMAchine, whose faster processors make remote spinning relatively more
+// expensive and so move the spin-vs-queue crossover.
+var tunedMachines = []struct {
+	Name  string
+	Cfg   func(seed uint64) sim.Config
+	Procs []int
+}{
+	{"hector16", machine.Hector16, []int{1, 2, 4, 8, 16}},
+	{"numachine64", machine.NUMAchine64, []int{1, 4, 16, 32, 64}},
+}
+
+// tunedSeeds is how many seeds each point is averaged over. At low
+// contention (p=2, ~40 measured acquisitions) a single run's mean acquire
+// latency swings +-25% purely from the phase alignment of backoff jitter
+// against the hold period — fixed locks swing as much as Tuned — so the
+// comparison is between expected latencies, not single draws.
+const tunedSeeds = 3
+
+// TunedCrossover reproduces the Figure 5b spin-vs-queue crossover with the
+// feedback tuner in the loop: at each contention level, every
+// fixed-constant lock runs the contended acquire/release loop, then Tuned
+// runs the same loop and its controller must land near the best fixed
+// choice — long-cap spinning while the home module has headroom, queue
+// mode past measured saturation — without being told which regime it is
+// in. The warm-up rounds double as the controller's settling time, as the
+// sampling interrupt's convergence would in a kernel. Each cell is the
+// mean over tunedSeeds seeded runs.
+//
+// Two views judge the result. The table shows mean acquire latency (the
+// figure's response time); the pair(us) column and the worst-ratio metric
+// use PairUS — elapsed wall time per completed round minus the hold, the
+// throughput view. The distinction matters precisely where the paper's
+// §4.2 starvation analysis lives: a 2ms-backoff spin lock posts a low
+// *mean* acquire under heavy contention only because it starves most
+// contenders while one winner monopolizes the lock, and the losers' giant
+// waits land after contention has drained; the wall clock still pays for
+// the convoy, which PairUS counts and the mean hides.
+func TunedCrossover(seed uint64, rounds int) *Table {
+	t := &Table{
+		Title: "Tuned crossover: acquire latency (us) vs processors, hold=25us",
+		Cols:  []string{"machine", "p"},
+	}
+	for _, k := range tunedCrossoverKinds {
+		t.Cols = append(t.Cols, k.String())
+	}
+	t.Cols = append(t.Cols, "Tuned", "pair(us)", "cap(us)", "mode")
+
+	hold := sim.Micros(25)
+	warmup := rounds / 4
+	if warmup < 2 {
+		warmup = 2
+	}
+	type point struct{ acq, pair float64 }
+	run := func(cfg workload.StressConfig) point {
+		var pt point
+		for s := uint64(0); s < tunedSeeds; s++ {
+			c := cfg
+			c.Machine.Seed += s
+			r := workload.LockStressRun(c)
+			pt.acq += r.AcquireUS
+			pt.pair += r.PairUS
+		}
+		pt.acq /= tunedSeeds
+		pt.pair /= tunedSeeds
+		return pt
+	}
+	for _, mc := range tunedMachines {
+		worstPair, worstAcq := 0.0, 0.0
+		crossoverP := 0
+		var pairRatios []string
+		for _, p := range mc.Procs {
+			row := []string{mc.Name, fmt.Sprintf("%d", p)}
+			var bestAcq, bestPair float64
+			for _, k := range tunedCrossoverKinds {
+				pt := run(workload.StressConfig{
+					Machine: mc.Cfg(seed), Kind: k,
+					Procs: p, Rounds: rounds, Warmup: warmup, Hold: hold,
+				})
+				row = append(row, f1(pt.acq))
+				if bestAcq == 0 || pt.acq < bestAcq {
+					bestAcq = pt.acq
+				}
+				if bestPair == 0 || pt.pair < bestPair {
+					bestPair = pt.pair
+				}
+			}
+			var tuned point
+			crossed := false
+			var ctl *tune.Controller
+			for s := uint64(0); s < tunedSeeds; s++ {
+				var tl *locks.Tuned
+				r := workload.LockStressRun(workload.StressConfig{
+					Machine: mc.Cfg(seed + s),
+					MakeLock: func(m *sim.Machine, home int) locks.Lock {
+						tl = locks.NewTuned(m, home, tune.Params{})
+						return tl
+					},
+					Procs: p, Rounds: rounds, Warmup: warmup, Hold: hold,
+				})
+				tuned.acq += r.AcquireUS
+				tuned.pair += r.PairUS
+				ctl = tl.Controller()
+				crossed = crossed || ctl.Switches() > 0
+			}
+			tuned.acq /= tunedSeeds
+			tuned.pair /= tunedSeeds
+			row = append(row, f1(tuned.acq), f1(tuned.pair),
+				fmt.Sprintf("%.0f", ctl.BackoffCap().Microseconds()), ctl.Mode().String())
+			t.AddRow(row...)
+			// Ratios compare per-round elapsed wall time (overhead plus the
+			// hold itself): the hold-work model can undershoot the nominal
+			// hold by a few hundred cycles, which makes the bare overhead
+			// slightly negative at p=1 and its ratio meaningless there.
+			holdUS := hold.Microseconds()
+			pairRatio := (tuned.pair + holdUS) / (bestPair + holdUS)
+			if pairRatio > worstPair {
+				worstPair = pairRatio
+			}
+			if r := tuned.acq / bestAcq; r > worstAcq {
+				worstAcq = r
+			}
+			pairRatios = append(pairRatios, fmt.Sprintf("%.2f", pairRatio))
+			if crossoverP == 0 && crossed {
+				crossoverP = p
+			}
+			if p == mc.Procs[len(mc.Procs)-1] {
+				t.AddMetric(mc.Name+".tuned_acquire_pmax", tuned.acq, "us")
+				t.AddMetric(mc.Name+".best_fixed_pmax", bestAcq, "us")
+				t.AddMetric(mc.Name+".tuned_pair_pmax", tuned.pair, "us")
+				t.AddMetric(mc.Name+".best_fixed_pair_pmax", bestPair, "us")
+			}
+		}
+		t.AddMetric(mc.Name+".tuned_worst_ratio", worstPair, "ratio")
+		t.AddMetric(mc.Name+".tuned_worst_acquire_ratio", worstAcq, "ratio")
+		t.Note("%s: Tuned/best-fixed per-round elapsed by level: %s (worst %.2f; mean-acquire view worst %.2f)",
+			mc.Name, strings.Join(pairRatios, " "), worstPair, worstAcq)
+		if crossoverP > 0 {
+			t.AddMetric(mc.Name+".crossover_p", float64(crossoverP), "procs")
+			t.Note("%s: controller first crossed spin->queue at p=%d", mc.Name, crossoverP)
+		} else {
+			t.Note("%s: controller never left spin mode (no saturation at MaxCap)", mc.Name)
+		}
+	}
+	return t
+}

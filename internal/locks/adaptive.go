@@ -24,7 +24,15 @@ const (
 type Adaptive struct {
 	word  sim.Addr
 	queue *MCS
-	// HeadBackoff bounds the queue head's polling of the word.
+	// HeadBackoff bounds the queue head's polling of the word. It defaults
+	// to DefaultHeadBackoff (4us) — a deliberately tighter bound than the
+	// kernel's 35us DefaultSpinCap for contender spinning, because only
+	// one processor (the queue head) ever polls here.
+	//
+	// Deprecated: direct mutation is superseded by the feedback tuner —
+	// use Tuned (or tune.Params) to move this constant from measured
+	// home-module utilization; mutating it under a Tuned lock would fight
+	// the controller.
 	HeadBackoff sim.Duration
 }
 
@@ -33,7 +41,7 @@ func NewAdaptive(m *sim.Machine, home int) *Adaptive {
 	return &Adaptive{
 		word:        m.Mem.Alloc(home, 1),
 		queue:       NewMCS(m, home, VariantH2),
-		HeadBackoff: sim.Micros(4),
+		HeadBackoff: DefaultHeadBackoff,
 	}
 }
 

@@ -16,6 +16,26 @@ import (
 	"fmt"
 
 	"hurricane/internal/sim"
+	"hurricane/internal/tune"
+)
+
+// The fixed tuning constants of the paper's kernel. These are the values
+// the tune.Controller replaces at runtime: a Tuned lock starts from the
+// same defaults and moves them as measured home-module utilization
+// dictates. Prefer locks.Tuned (or explicit tune.Params) over mutating
+// Spin.Max / Adaptive.HeadBackoff directly — direct mutation bypasses the
+// controller and the two will fight over the value.
+const (
+	// DefaultSpinCap is the kernel-internal backoff cap for cluster-level
+	// spin locks (§4.1: 35us).
+	DefaultSpinCap sim.Duration = 35 * sim.CyclesPerMicrosecond
+	// Figure5SpinCap is the 2ms cap the paper also measures in Figure 5.
+	Figure5SpinCap sim.Duration = 2000 * sim.CyclesPerMicrosecond
+	// DefaultHeadBackoff bounds the Adaptive queue head's polling of the
+	// lock word. It is deliberately far below DefaultSpinCap: the head is
+	// the only processor polling, so the cap trades a little hand-off
+	// latency against home-module traffic, not against a spin storm.
+	DefaultHeadBackoff sim.Duration = 4 * sim.CyclesPerMicrosecond
 )
 
 // Lock is a mutual-exclusion lock usable by simulated processors.
@@ -55,6 +75,12 @@ const (
 	KindSpin2ms
 	// KindCLH is the CAS-era queue-lock extension (§5 discussion).
 	KindCLH
+	// KindAdaptive is the §3.1 adaptive technique: TAS fast path backed by
+	// an MCS queue, with fixed constants (DefaultHeadBackoff).
+	KindAdaptive
+	// KindTuned is the adaptive lock with its constants driven by a
+	// tune.Controller fed from measured home-module utilization.
+	KindTuned
 )
 
 // String returns the label used in tables and figures.
@@ -72,6 +98,10 @@ func (k Kind) String() string {
 		return "Spin-2ms"
 	case KindCLH:
 		return "CLH"
+	case KindAdaptive:
+		return "Adaptive"
+	case KindTuned:
+		return "Tuned"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -88,11 +118,15 @@ func New(m *sim.Machine, k Kind, home int) Lock {
 	case KindH2MCS:
 		return NewMCS(m, home, VariantH2)
 	case KindSpin:
-		return NewSpin(m, home, sim.Micros(35))
+		return NewSpin(m, home, DefaultSpinCap)
 	case KindSpin2ms:
-		return NewSpin(m, home, sim.Micros(2000))
+		return NewSpin(m, home, Figure5SpinCap)
 	case KindCLH:
 		return NewCLH(m, home)
+	case KindAdaptive:
+		return NewAdaptive(m, home)
+	case KindTuned:
+		return NewTuned(m, home, tune.Params{})
 	}
 	panic("locks: unknown kind")
 }

@@ -44,7 +44,8 @@ func exclusionStress(t *testing.T, mk func(*sim.Machine) Lock, seed uint64, npro
 }
 
 func allKinds() []Kind {
-	return []Kind{KindMCS, KindH1MCS, KindH2MCS, KindSpin, KindSpin2ms, KindCLH}
+	return []Kind{KindMCS, KindH1MCS, KindH2MCS, KindSpin, KindSpin2ms, KindCLH,
+		KindAdaptive, KindTuned}
 }
 
 func TestMutualExclusionAllKinds(t *testing.T) {

@@ -14,7 +14,10 @@ type Spin struct {
 	m    *sim.Machine
 	lock sim.Addr
 	// Initial and Max bound the backoff delay; the paper's kernel uses a
-	// 35us cap for cluster-internal locks and Figure 5 also measures 2ms.
+	// 35us cap for cluster-internal locks (DefaultSpinCap) and Figure 5
+	// also measures 2ms (Figure5SpinCap). Prefer Tuned over mutating Max
+	// at runtime: the tuner owns the cap there and adapts it to measured
+	// home-module utilization.
 	Initial, Max sim.Duration
 	name         string
 }

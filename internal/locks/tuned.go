@@ -1,0 +1,179 @@
+package locks
+
+import (
+	"hurricane/internal/sim"
+	"hurricane/internal/tune"
+)
+
+// Tuned is the utilization-tuned lock: the Adaptive lock's machinery (a
+// test-and-set word as the fast path, an H2-MCS queue for waiters, grant
+// hand-offs for fairness) with the fixed constants replaced by a
+// tune.Controller fed from the lock's home-module utilization.
+//
+// In spin mode every contender polls the word with capped exponential
+// backoff, like Spin, but the cap is the controller's — it climbs as the
+// home module approaches saturation, so spinning never steals the
+// bandwidth the holder needs. When even the maximum cap leaves the module
+// saturated the controller crosses over to queue mode: contenders enqueue
+// and spin locally, only the queue head polls the word (bounded by the
+// controller's head backoff), and the home module carries only hand-offs.
+//
+// Both modes share one protocol, so a mode switch needs no stop-the-world
+// hand-over: a releaser that sees queued waiters writes a grant instead of
+// freeing the word, and any spinner that swallows a grant restores it and
+// joins the queue — exactly the Adaptive discipline, which remains correct
+// with spinners and queuers mixed during a transition.
+//
+// The controller's reads (mode, caps) and the lock's observation counters
+// cost no simulated time: they model per-lock tuning state the kernel
+// would keep adjacent to the lock word, maintained off the critical path
+// by the sampling interrupt.
+type Tuned struct {
+	word  sim.Addr
+	queue *MCS
+	ctl   *tune.Controller
+	home  int
+
+	// fastAttempts/fastFailures count fast-path swaps and how many found
+	// the word taken; acquisitions/waitCycles accumulate completed Acquire
+	// calls and their total latency — the cumulative counters the
+	// controller's sampling hook diffs into windows.
+	fastAttempts, fastFailures uint64
+	acquisitions               uint64
+	waitCycles                 sim.Duration
+}
+
+// NewTuned builds a tuned lock homed on module home and attaches its
+// sampling hook to the machine's engine. Zero-value params take defaults.
+func NewTuned(m *sim.Machine, home int, p tune.Params) *Tuned {
+	l := &Tuned{
+		word:  m.Mem.Alloc(home, 1),
+		queue: NewMCS(m, home, VariantH2),
+		ctl:   tune.NewController(p),
+		home:  home,
+	}
+	tune.Attach(m.Eng, m.Mem.Module(home), func() tune.Counters {
+		return tune.Counters{
+			Attempts:     l.fastAttempts,
+			Failures:     l.fastFailures,
+			Acquisitions: l.acquisitions,
+			WaitCycles:   l.waitCycles,
+		}
+	}, l.ctl)
+	return l
+}
+
+// Name implements Lock.
+func (l *Tuned) Name() string { return "Tuned" }
+
+// Controller exposes the feedback controller (for reports and tests).
+func (l *Tuned) Controller() *tune.Controller { return l.ctl }
+
+// Word exposes the fast-path word address (for tests).
+func (l *Tuned) Word() sim.Addr { return l.word }
+
+// Acquire implements Lock.
+func (l *Tuned) Acquire(p *sim.Proc) {
+	t0 := p.Now()
+	l.acquire(p)
+	l.acquisitions++
+	l.waitCycles += p.Now() - t0
+}
+
+// acquire is the acquisition protocol; Acquire wraps it with the zero-cost
+// latency accounting the controller's wait signal consumes.
+func (l *Tuned) acquire(p *sim.Proc) {
+	p.Reg(1)
+	old := p.Swap(l.word, adHeld)
+	p.Branch(2)
+	l.fastAttempts++
+	if old == adFree {
+		return
+	}
+	l.fastFailures++
+	if old == adGranted {
+		// A hand-off meant for the queue head; put it back.
+		p.Store(l.word, adGranted)
+	}
+	// Contended. Spin on the word while the controller says the home
+	// module has headroom; fall through to the queue on crossover.
+	delay := sim.Duration(sim.Micros(1))
+	for l.ctl.Mode() == tune.ModeSpin {
+		p.Think(delay/2 + p.RNG().Duration(delay/2+1))
+		old = p.Swap(l.word, adHeld)
+		p.Branch(1)
+		l.fastAttempts++
+		if old == adFree {
+			return
+		}
+		l.fastFailures++
+		if old == adGranted {
+			p.Store(l.word, adGranted)
+		}
+		delay *= 2
+		if cap := l.ctl.BackoffCap(); delay > cap {
+			delay = cap
+		}
+	}
+	l.queueAcquire(p)
+}
+
+// queueAcquire is the Adaptive queue path with the head's polling bound
+// taken from the controller instead of a fixed HeadBackoff.
+func (l *Tuned) queueAcquire(p *sim.Proc) {
+	l.queue.Acquire(p)
+	delay := sim.Duration(sim.Micros(1))
+	for {
+		old := p.Swap(l.word, adHeld)
+		p.Branch(1)
+		l.fastAttempts++
+		if old == adFree || old == adGranted {
+			break
+		}
+		l.fastFailures++
+		p.Think(delay/2 + p.RNG().Duration(delay/2+1))
+		if delay < l.ctl.HeadBackoff() {
+			delay *= 2
+		}
+	}
+	l.queue.Release(p)
+}
+
+// TryAcquire implements TryLocker: a single fast-path attempt.
+func (l *Tuned) TryAcquire(p *sim.Proc) bool {
+	p.Reg(1)
+	old := p.Swap(l.word, adHeld)
+	p.Branch(2)
+	l.fastAttempts++
+	if old == adFree {
+		return true
+	}
+	l.fastFailures++
+	if old == adGranted {
+		p.Store(l.word, adGranted)
+	}
+	return false
+}
+
+// Release implements Lock. In queue mode: hand off to the queue head if
+// anyone is queued, else free the word (the Adaptive release). In spin mode
+// the releaser skips the queue-tail load and just frees the word — that
+// remote load is pure overhead when contenders poll the word directly, and
+// it is safe to skip because any straggler still sitting in the queue after
+// a mode switch polls the word itself (bounded by the head backoff), so it
+// competes like a spinner instead of waiting for a grant that would never
+// come.
+func (l *Tuned) Release(p *sim.Proc) {
+	p.Branch(1)
+	if l.ctl.Mode() == tune.ModeSpin {
+		p.Swap(l.word, adFree)
+		return
+	}
+	tail := p.Load(l.queue.Word())
+	p.Branch(2)
+	if tail != 0 {
+		p.Store(l.word, adGranted)
+		return
+	}
+	p.Swap(l.word, adFree)
+}

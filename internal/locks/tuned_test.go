@@ -1,0 +1,116 @@
+package locks
+
+import (
+	"testing"
+
+	"hurricane/internal/sim"
+	"hurricane/internal/tune"
+)
+
+// measureWarmAcquire returns the latency of one warm, uncontended acquire
+// by processor 0 with the lock homed cross-ring (module 12), like §4.1.1.
+func measureWarmAcquire(t *testing.T, k Kind) sim.Duration {
+	t.Helper()
+	m := sim.NewMachine(sim.Config{Seed: 7})
+	l := New(m, k, 12)
+	var took sim.Duration
+	m.Go(0, func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			l.Acquire(p)
+			l.Release(p)
+		}
+		start := p.Now()
+		l.Acquire(p)
+		took = p.Now() - start
+		l.Release(p)
+	})
+	m.RunAll()
+	m.Shutdown()
+	return took
+}
+
+// TestTunedUncontendedMatchesSpin is the zero-contention metamorphic
+// property from the issue: with nobody else competing, Tuned converges to
+// the uncontended test-and-set fast path, and its acquire latency matches
+// the plain spin lock within one simulated microsecond. (In fact the fast
+// paths are instruction-identical — one register op, one swap, two
+// branches — so the latencies should be exactly equal; the 1us bound is
+// the contract, exactness the implementation detail.)
+func TestTunedUncontendedMatchesSpin(t *testing.T) {
+	spin := measureWarmAcquire(t, KindSpin)
+	tuned := measureWarmAcquire(t, KindTuned)
+	diff := spin - tuned
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > sim.Micros(1) {
+		t.Fatalf("uncontended acquire: Spin %v vs Tuned %v, diff > 1us", spin, tuned)
+	}
+}
+
+// TestTunedZeroContentionConvergence: under a single-processor
+// acquire/release loop the controller must observe windows but never leave
+// the optimistic stance — spin mode, minimum cap, zero fast-path failures.
+func TestTunedZeroContentionConvergence(t *testing.T) {
+	m := sim.NewMachine(sim.Config{Seed: 11})
+	l := NewTuned(m, 0, tune.Params{Period: sim.Micros(50)})
+	m.Go(0, func(p *sim.Proc) {
+		for i := 0; i < 200; i++ {
+			l.Acquire(p)
+			p.Think(sim.Micros(5))
+			l.Release(p)
+		}
+	})
+	m.RunAll()
+	m.Shutdown()
+	c := l.Controller()
+	if c.Samples() == 0 {
+		t.Fatal("controller observed no windows")
+	}
+	if c.Mode() != tune.ModeSpin {
+		t.Fatalf("mode = %v, want spin", c.Mode())
+	}
+	if c.BackoffCap() != c.Params().MinCap {
+		t.Fatalf("cap = %v, want MinCap %v", c.BackoffCap(), c.Params().MinCap)
+	}
+	if l.fastFailures != 0 {
+		t.Fatalf("fast-path failures = %d, want 0", l.fastFailures)
+	}
+	if c.Switches() != 0 {
+		t.Fatalf("mode switches = %d, want 0", c.Switches())
+	}
+}
+
+// TestTunedCrossesOverUnderSaturation: with the cap ceiling pulled down so
+// backing off cannot relieve the home module, a contended Tuned lock must
+// cross over to queue mode during the run — the measured-saturation
+// crossover, exercised end-to-end rather than on a synthetic Sample feed.
+func TestTunedCrossesOverUnderSaturation(t *testing.T) {
+	m := sim.NewMachine(sim.Config{Seed: 3})
+	l := NewTuned(m, 0, tune.Params{
+		Period: sim.Micros(50),
+		MaxCap: sim.Micros(16),
+	})
+	for i := 0; i < 16; i++ {
+		m.Go(i, func(p *sim.Proc) {
+			for r := 0; r < 40; r++ {
+				l.Acquire(p)
+				p.Think(sim.Micros(25))
+				l.Release(p)
+			}
+		})
+	}
+	m.RunAll()
+	m.Shutdown()
+	c := l.Controller()
+	if c.Switches() == 0 {
+		t.Fatalf("no spin->queue crossover under saturation; final cap %v, mode %v, %d windows",
+			c.BackoffCap(), c.Mode(), c.Samples())
+	}
+	// The word must still have served every acquisition exactly once:
+	// 16 procs x 40 rounds with mutual exclusion is checked by the stress
+	// tests; here just confirm the lock ended free.
+	if got := m.Mem.Peek(l.Word()); got != adFree {
+		t.Fatalf("lock word = %d after run, want free", got)
+	}
+}

@@ -1,0 +1,259 @@
+package native
+
+// Sim↔native cross-validation: the simulator-hosted MCS lock
+// (internal/locks, instruction-level model of the paper's Figure 3) and
+// the sync/atomic port in this package implement the same algorithm, so
+// the same acquire/release schedule must produce the same observable
+// behaviour from both: the same critical-section entry order (queue locks
+// grant in enqueue order) and the same hand-off counts (which acquisitions
+// found the lock taken and were served by a grant rather than a free
+// word).
+//
+// A schedule is a deterministic sequence of enqueue/release steps drawn
+// from a seeded generator. The sim side replays it by spacing the steps
+// out in simulated time (steps are 200us apart, far beyond any hand-off
+// latency, so the interleaving is exactly the schedule). The native side
+// replays it through the Enqueue/WaitGrant split: a coordinator goroutine
+// performs the tail swaps in schedule order while the waiting, the
+// critical sections and the releases stay on per-actor goroutines — so
+// under -race this also exercises the real concurrent hand-off path.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hurricane/internal/locks"
+	hsim "hurricane/internal/sim"
+)
+
+const (
+	opEnqueue = iota
+	opRelease
+)
+
+type schedStep struct{ actor, op int }
+
+// csEntry records one critical-section entry: who entered, and whether the
+// acquisition was contended (the lock was held or queued at enqueue time —
+// i.e. it will be served by a hand-off, not a free word).
+type csEntry struct {
+	actor     int
+	contended bool
+}
+
+// genSchedule draws a valid schedule from a seeded generator and
+// abstract-executes FIFO lock semantics over it, returning the expected
+// entry sequence.
+func genSchedule(seed uint64, actors, acquires int) ([]schedStep, []csEntry) {
+	rng := seed*2 + 1
+	pick := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+	var steps []schedStep
+	var expected []csEntry
+	const (
+		stIdle = iota
+		stWaiting
+		stHolding
+	)
+	state := make([]int, actors)
+	holder := -1
+	var queue []int
+	left := acquires
+	for left > 0 || holder != -1 {
+		var cands []schedStep
+		if left > 0 {
+			for a := 0; a < actors; a++ {
+				if state[a] == stIdle {
+					cands = append(cands, schedStep{a, opEnqueue})
+				}
+			}
+		}
+		if holder != -1 {
+			cands = append(cands, schedStep{holder, opRelease})
+		}
+		s := cands[pick(len(cands))]
+		steps = append(steps, s)
+		if s.op == opEnqueue {
+			left--
+			if holder == -1 {
+				holder = s.actor
+				state[s.actor] = stHolding
+				expected = append(expected, csEntry{s.actor, false})
+			} else {
+				queue = append(queue, s.actor)
+				state[s.actor] = stWaiting
+			}
+		} else {
+			state[holder] = stIdle
+			if len(queue) > 0 {
+				holder = queue[0]
+				queue = queue[1:]
+				state[holder] = stHolding
+				expected = append(expected, csEntry{holder, true})
+			} else {
+				holder = -1
+			}
+		}
+	}
+	return steps, expected
+}
+
+// runSimSchedule replays the schedule on the simulator's H2-MCS lock, each
+// step at its own well-separated simulated time, and records the observed
+// entry order. The simulator is single-threaded, so the harness counters
+// need no synchronization.
+func runSimSchedule(t *testing.T, steps []schedStep, actors int) []csEntry {
+	t.Helper()
+	m := hsim.NewMachine(hsim.Config{Seed: 99})
+	l := locks.NewMCS(m, 0, locks.VariantH2)
+	type timedOp struct {
+		at hsim.Time
+		op int
+	}
+	sep := hsim.Micros(200)
+	ops := make([][]timedOp, actors)
+	for i, s := range steps {
+		ops[s.actor] = append(ops[s.actor], timedOp{at: hsim.Time(i+1) * sep, op: s.op})
+	}
+	var entries []csEntry
+	busy, holding := 0, 0
+	for a := 0; a < actors; a++ {
+		a := a
+		m.Go(a, func(p *hsim.Proc) {
+			for _, o := range ops[a] {
+				if o.at > p.Now() {
+					p.Think(o.at - p.Now())
+				}
+				if o.op == opEnqueue {
+					contended := busy > 0
+					busy++
+					l.Acquire(p)
+					holding++
+					if holding != 1 {
+						t.Errorf("sim: %d holders after actor %d acquired", holding, a)
+					}
+					entries = append(entries, csEntry{a, contended})
+				} else {
+					holding--
+					l.Release(p)
+					busy--
+				}
+			}
+		})
+	}
+	m.RunAll()
+	m.Shutdown()
+	return entries
+}
+
+// runNativeSchedule replays the schedule on the native MCS lock. The
+// coordinator performs the enqueues (tail swaps) in schedule order;
+// everything else — waiting for the grant, the critical section, the
+// release — runs concurrently on per-actor goroutines. The entries slice
+// is appended to while holding the lock, so the race detector doubles as
+// the mutual-exclusion check.
+func runNativeSchedule(t *testing.T, steps []schedStep, actors int) []csEntry {
+	t.Helper()
+	l := &MCS{}
+	var entries []csEntry
+	var holders atomic.Int32
+	type acqCmd struct {
+		n    *qnode
+		held bool
+	}
+	cmd := make([]chan acqCmd, actors)
+	entered := make([]chan struct{}, actors)
+	release := make([]chan struct{}, actors)
+	done := make([]chan struct{}, actors)
+	var wg sync.WaitGroup
+	for a := 0; a < actors; a++ {
+		a := a
+		cmd[a] = make(chan acqCmd)
+		entered[a] = make(chan struct{}, 1)
+		release[a] = make(chan struct{})
+		done[a] = make(chan struct{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range cmd[a] {
+				if !c.held {
+					l.WaitGrant(c.n)
+				}
+				if h := holders.Add(1); h != 1 {
+					t.Errorf("native: %d holders after actor %d acquired", h, a)
+				}
+				entries = append(entries, csEntry{a, !c.held})
+				entered[a] <- struct{}{}
+				<-release[a]
+				holders.Add(-1)
+				l.Release(c.n)
+				done[a] <- struct{}{}
+			}
+		}()
+	}
+	for _, s := range steps {
+		if s.op == opEnqueue {
+			n, held := l.Enqueue()
+			cmd[s.actor] <- acqCmd{n, held}
+		} else {
+			<-entered[s.actor]
+			release[s.actor] <- struct{}{}
+			<-done[s.actor]
+		}
+	}
+	for a := 0; a < actors; a++ {
+		close(cmd[a])
+	}
+	wg.Wait()
+	return entries
+}
+
+func diffEntries(t *testing.T, label string, got, want []csEntry) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d entries, want %d", label, len(got), len(want))
+	}
+	gotHandoffs, wantHandoffs := 0, 0
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: entry %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+		if got[i].contended {
+			gotHandoffs++
+		}
+		if want[i].contended {
+			wantHandoffs++
+		}
+	}
+	if gotHandoffs != wantHandoffs {
+		t.Fatalf("%s: %d hand-offs, want %d", label, gotHandoffs, wantHandoffs)
+	}
+}
+
+// TestSimNativeCrossValidation drives the same seeded schedules through
+// the simulator-hosted and the native MCS lock and requires identical
+// mutual-exclusion orderings and hand-off counts from both.
+func TestSimNativeCrossValidation(t *testing.T) {
+	const actors, acquires = 6, 40
+	for _, seed := range []uint64{1, 7, 1994} {
+		steps, want := genSchedule(seed, actors, acquires)
+		// Sanity: the generator produced both contended and uncontended
+		// acquisitions, or the comparison is vacuous.
+		contended := 0
+		for _, e := range want {
+			if e.contended {
+				contended++
+			}
+		}
+		if contended == 0 || contended == len(want) {
+			t.Fatalf("seed %d: degenerate schedule (%d/%d contended)", seed, contended, len(want))
+		}
+		simGot := runSimSchedule(t, steps, actors)
+		natGot := runNativeSchedule(t, steps, actors)
+		diffEntries(t, "sim", simGot, want)
+		diffEntries(t, "native", natGot, want)
+	}
+}

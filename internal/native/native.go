@@ -43,19 +43,38 @@ type MCS struct {
 // Acquire blocks until the lock is held and returns a token that must be
 // passed to Release.
 func (l *MCS) Acquire() *qnode {
+	n, held := l.Enqueue()
+	if !held {
+		l.WaitGrant(n)
+	}
+	return n
+}
+
+// Enqueue joins the queue and reports whether the lock was free — in which
+// case the caller holds it immediately. On false the caller is queued and
+// must complete the acquisition with WaitGrant. Acquire is Enqueue +
+// WaitGrant; the split exists so a replay harness can pin the enqueue
+// order (the order of tail swaps, which for a queue lock determines the
+// grant order) while the waiting itself stays on the acquiring goroutine —
+// this is what the sim↔native cross-validation tests use.
+func (l *MCS) Enqueue() (*qnode, bool) {
 	n := l.pool.get()
 	n.next.Store(nil)
 	n.locked.Store(true)
 	n.state.Store(nsWaiting)
 	pred := l.tail.Swap(n)
 	if pred == nil {
-		return n
+		return n, true
 	}
 	pred.next.Store(n)
+	return n, false
+}
+
+// WaitGrant spins until the node enqueued by Enqueue is granted the lock.
+func (l *MCS) WaitGrant(n *qnode) {
 	for spins := 0; n.locked.Load(); spins++ {
 		pause(spins)
 	}
-	return n
 }
 
 // TryAcquire makes a single attempt (§3.2's second variant): if the lock is

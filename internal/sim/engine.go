@@ -7,10 +7,14 @@ import (
 
 // event is a scheduled callback. Events with equal times fire in the order
 // they were scheduled (seq breaks ties), which makes runs deterministic.
+// Daemon events are pure observers (statistics samplers): they run like any
+// other event but do not keep the simulation alive — once only daemons
+// remain the run is over and they are discarded.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at     Time
+	seq    uint64
+	fn     func()
+	daemon bool
 }
 
 type eventHeap []event
@@ -40,6 +44,9 @@ type Engine struct {
 	now    Time
 	events eventHeap
 	seq    uint64
+	// live counts queued non-daemon events; when it reaches zero the run is
+	// over even if daemon (observer) events remain queued.
+	live int
 	// stopped is set by Stop to abandon the remaining event queue.
 	stopped bool
 	// processed counts events dispatched, as a progress/≈cost metric.
@@ -66,11 +73,42 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
+	e.live++
 	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d cycles from now.
 func (e *Engine) After(d Duration, fn func()) { e.At(e.now+d, fn) }
+
+// AtDaemon schedules fn as a daemon event: it runs at time t in engine
+// context like any event, but does not keep the simulation alive. Once only
+// daemon events remain queued, Run ends and discards them. Daemon callbacks
+// are observation hooks — they must not consume simulated time or schedule
+// non-daemon events (that would let an observer alter what it observes).
+func (e *Engine) AtDaemon(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn, daemon: true})
+}
+
+// Every runs fn as a daemon every period cycles, first at now+period, until
+// the simulation drains. fn receives the firing time. Sampling is scheduled
+// through the same deterministic (time, sequence) order as everything else,
+// so attaching a sampler never perturbs the simulated instruction streams —
+// only the observations fn itself publishes can feed back into them.
+func (e *Engine) Every(period Duration, fn func(Time)) {
+	if period == 0 {
+		panic("sim: Every with zero period")
+	}
+	var tick func()
+	tick = func() {
+		fn(e.now)
+		e.AtDaemon(e.now+period, tick)
+	}
+	e.AtDaemon(e.now+period, tick)
+}
 
 // Stop makes Run return after the current event completes. The request is
 // sticky: if no Run is in progress (Stop issued from a completion callback
@@ -92,6 +130,12 @@ func (e *Engine) Stopped() bool { return e.stopped }
 func (e *Engine) Run(until Time) uint64 {
 	start := e.processed
 	for len(e.events) > 0 {
+		if e.live == 0 {
+			// Only daemon observers remain: the simulation proper is over.
+			// Discard them so the queue reads as drained (Shutdown-safe).
+			e.events = e.events[:0]
+			break
+		}
 		if e.stopped {
 			e.stopped = false
 			break
@@ -102,6 +146,9 @@ func (e *Engine) Run(until Time) uint64 {
 		ev := heap.Pop(&e.events).(event)
 		e.now = ev.at
 		e.processed++
+		if !ev.daemon {
+			e.live--
+		}
 		ev.fn()
 	}
 	return e.processed - start

@@ -294,3 +294,63 @@ func TestResourcePropertyNoOverlap(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEngineDaemonEventsDoNotKeepRunAlive checks the observer-hook
+// contract: a self-rescheduling daemon samples while live events run, but
+// RunAll still terminates (daemons are discarded once only they remain).
+func TestEngineDaemonEventsDoNotKeepRunAlive(t *testing.T) {
+	e := NewEngine()
+	var samples []Time
+	e.Every(10, func(now Time) { samples = append(samples, now) })
+	done := false
+	e.At(35, func() { done = true })
+	e.RunAll()
+	if !done {
+		t.Fatal("live event did not run")
+	}
+	// Samples at 10, 20, 30; the tick at 40 is past the last live event.
+	if len(samples) != 3 || samples[0] != 10 || samples[2] != 30 {
+		t.Fatalf("samples = %v, want [10 20 30]", samples)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("daemons left pending after RunAll: %d", e.Pending())
+	}
+	if e.Now() != 35 {
+		t.Fatalf("clock = %v, want 35 (daemons must not advance past the last live event)", e.Now())
+	}
+}
+
+// TestEngineDaemonOrderingDeterministic checks daemons interleave with live
+// events in (time, sequence) order like everything else.
+func TestEngineDaemonOrderingDeterministic(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var got []string
+		e.At(10, func() { got = append(got, "live10") })
+		e.AtDaemon(10, func() { got = append(got, "daemon10") })
+		e.At(20, func() { got = append(got, "live20") })
+		e.RunAll()
+		return got
+	}
+	a, b := run(), run()
+	want := []string{"live10", "daemon10", "live20"}
+	for i := range want {
+		if a[i] != want[i] || b[i] != want[i] {
+			t.Fatalf("daemon ordering: %v / %v, want %v", a, b, want)
+		}
+	}
+}
+
+// TestEngineDaemonOnlyQueueDrainsImmediately: with no live work at all, a
+// periodic daemon must not spin the clock forever.
+func TestEngineDaemonOnlyQueueDrainsImmediately(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Every(5, func(Time) { fired++ })
+	if n := e.RunAll(); n != 0 {
+		t.Fatalf("daemon-only RunAll dispatched %d events, want 0", n)
+	}
+	if fired != 0 || e.Pending() != 0 {
+		t.Fatalf("daemon fired %d times, pending %d; want 0/0", fired, e.Pending())
+	}
+}

@@ -1,0 +1,49 @@
+package tune
+
+import "hurricane/internal/sim"
+
+// Attach wires a Controller to a machine: every Period cycles a daemon
+// event samples the home module's utilization over the elapsed window plus
+// the lock's cumulative counters (via probe, read at zero simulated cost)
+// and feeds the windowed diff to the controller. The hook is an engine
+// daemon, so it neither consumes simulated time nor keeps the run alive —
+// determinism is preserved, and the only feedback path into the simulation
+// is the constants the controller publishes.
+//
+// Resource statistics are windowed (experiments call ResetStats mid-run to
+// open a measurement window), so the sampler diffs the cumulative busy
+// counter and resynchronizes whenever it observes the counter move
+// backwards: the window that straddles a reset is dropped rather than
+// mis-measured. Lock counters are monotone and need no such handling.
+func Attach(eng *sim.Engine, home *sim.Resource, probe func() Counters, c *Controller) {
+	var (
+		lastBusy sim.Duration
+		lastTime sim.Time
+		last     Counters
+	)
+	lastBusy = home.Busy
+	last = probe()
+	eng.Every(c.p.Period, func(now sim.Time) {
+		busy := home.Busy
+		cur := probe()
+		defer func() {
+			lastBusy, lastTime = busy, now
+			last = cur
+		}()
+		if busy < lastBusy || now <= lastTime {
+			// A ResetStats landed inside this window; skip it.
+			return
+		}
+		s := Sample{
+			Now:      now,
+			HomeUtil: float64(busy-lastBusy) / float64(now-lastTime),
+			Lock: Counters{
+				Attempts:     cur.Attempts - last.Attempts,
+				Failures:     cur.Failures - last.Failures,
+				Acquisitions: cur.Acquisitions - last.Acquisitions,
+				WaitCycles:   cur.WaitCycles - last.WaitCycles,
+			},
+		}
+		c.Observe(s)
+	})
+}

@@ -1,0 +1,356 @@
+// Package tune closes the feedback loop the paper leaves open: instead of
+// hard-coding the backoff cap (the kernel's 35us) and the spin-vs-queue
+// choice per lock, a Controller consumes the windowed telemetry PR 1 built
+// — home-module utilization from sim.Resource windows and per-lock
+// acquire-latency and fast-path counters — and adjusts the constants at
+// runtime.
+//
+// The policy follows the paper's §2.1/§4.2 analysis with one measured
+// refinement. Two signals drive the backoff cap:
+//
+//   - The windowed mean acquire latency. A spinner's useful poll rate is
+//     set by how long it actually waits — Figure 5b's sweep shows the best
+//     fixed cap grows with contention roughly like the wait itself — so
+//     the cap multiplicatively tracks WaitFactor x the measured wait,
+//     staying within a factor of two of the target. This is what lets one
+//     lock match the best fixed cap at every contention level.
+//
+//   - The home module's measured utilization. Spinning remote to a lock's
+//     home module steals memory bandwidth from the holder (§2.1), so a
+//     saturated module forces the cap up regardless of wait, and when even
+//     the maximum cap cannot bring the module out of saturation the
+//     controller crosses over from test-and-set spinning to a queue lock,
+//     where waiters spin locally and the home module carries only
+//     hand-offs.
+//
+// The controller is deterministic by construction: it observes only at
+// daemon sampling events (sim.Engine.Every), which are ordered by the same
+// (time, sequence) discipline as all simulation events and consume no
+// simulated time, so attaching a tuner changes nothing about a run except
+// through the decisions it publishes.
+package tune
+
+import (
+	"fmt"
+	"strings"
+
+	"hurricane/internal/sim"
+)
+
+// Mode is the lock shape the controller has currently chosen.
+type Mode int
+
+const (
+	// ModeSpin: contenders poll the lock word with capped exponential
+	// backoff — lowest latency while the home module has headroom.
+	ModeSpin Mode = iota
+	// ModeQueue: contenders enqueue and spin locally; only the queue head
+	// polls the word — the distributed-lock regime past saturation.
+	ModeQueue
+)
+
+func (m Mode) String() string {
+	if m == ModeQueue {
+		return "queue"
+	}
+	return "spin"
+}
+
+// Params bounds the controller. The zero value takes defaults.
+type Params struct {
+	// Period is the sampling window (default 100us). Shorter windows react
+	// faster; longer windows smooth transient bursts.
+	Period sim.Duration
+	// SatHigh is the home-module utilization above which the module counts
+	// as saturating: the cap doubles, and if the cap is already at MaxCap
+	// the lock crosses over to queue mode (default 0.70 — between the
+	// holder-only baseline and the ~1.0 a saturated small-cap spin lock
+	// measures).
+	SatHigh float64
+	// SatLow is the utilization below which a queue-mode lock returns to
+	// spinning (default 0.45). The [SatLow, SatHigh] gap is the mode
+	// hysteresis band.
+	SatLow float64
+	// WaitFactor scales the windowed mean acquire latency into the cap
+	// target: the cap climbs while below half the target and decays while
+	// above double it (default 1.0).
+	WaitFactor float64
+	// MinCap and MaxCap clamp the backoff cap (defaults 8us and 2ms — the
+	// two ends of the paper's own Figure 5 sweep).
+	MinCap, MaxCap sim.Duration
+	// MinHead and MaxHead clamp the queue head's polling backoff in queue
+	// mode (defaults 2us and 64us).
+	MinHead, MaxHead sim.Duration
+	// LogLimit bounds the retained decision log (default 256; 0 takes the
+	// default, negative disables logging).
+	LogLimit int
+}
+
+func (p Params) withDefaults() Params {
+	if p.Period == 0 {
+		p.Period = sim.Micros(100)
+	}
+	if p.SatHigh == 0 {
+		p.SatHigh = 0.70
+	}
+	if p.SatLow == 0 {
+		p.SatLow = 0.45
+	}
+	if p.WaitFactor == 0 {
+		p.WaitFactor = 1.0
+	}
+	if p.MinCap == 0 {
+		p.MinCap = sim.Micros(8)
+	}
+	if p.MaxCap == 0 {
+		p.MaxCap = sim.Micros(2000)
+	}
+	if p.MinHead == 0 {
+		p.MinHead = sim.Micros(2)
+	}
+	if p.MaxHead == 0 {
+		p.MaxHead = sim.Micros(64)
+	}
+	if p.LogLimit == 0 {
+		p.LogLimit = 256
+	}
+	return p
+}
+
+// DefaultParams returns the defaulted parameter set.
+func DefaultParams() Params { return Params{}.withDefaults() }
+
+// waitDecay is the per-window retention of the decayed wait sums and the
+// utilization EWMA (a ~4 window horizon); waitDenFloor is the decayed-
+// acquisition mass below which the wait estimate is frozen rather than
+// computed from noise.
+const (
+	waitDecay    = 0.75
+	waitDenFloor = 0.5
+)
+
+// Counters is the cumulative per-lock telemetry a sampling hook reads;
+// the sampler diffs successive snapshots into per-window Samples. All
+// counters must be monotone non-decreasing.
+type Counters struct {
+	// Attempts and Failures count fast-path swaps and how many found the
+	// word taken.
+	Attempts, Failures uint64
+	// Acquisitions counts completed Acquire calls; WaitCycles accumulates
+	// their total acquire latency in cycles.
+	Acquisitions uint64
+	WaitCycles   sim.Duration
+}
+
+// Sample is one observation window delivered to Observe: the home module's
+// utilization over the window plus the lock's own windowed counters.
+type Sample struct {
+	// Now is the sampling time.
+	Now sim.Time
+	// HomeUtil is the home module's busy fraction over the window.
+	HomeUtil float64
+	// Lock is the lock telemetry accumulated over the window.
+	Lock Counters
+}
+
+// failFrac is the window's fast-path failure fraction (0 with no attempts).
+func (s Sample) failFrac() float64 {
+	if s.Lock.Attempts == 0 {
+		return 0
+	}
+	return float64(s.Lock.Failures) / float64(s.Lock.Attempts)
+}
+
+// Decision is the controller's state after one observation, for reports.
+// HomeUtil is the raw window measurement; UtilEWMA is the smoothed value
+// the decision was actually taken on.
+type Decision struct {
+	At       sim.Time
+	HomeUtil float64
+	UtilEWMA float64
+	WaitUS   float64
+	FailFrac float64
+	Cap      sim.Duration
+	Head     sim.Duration
+	Mode     Mode
+}
+
+// Controller adapts one lock's constants from measured utilization. All
+// methods are called from simulation context (engine or proc), which is
+// single-threaded, so no synchronization is needed — and none is wanted:
+// the controller's reads are the zero-cost observation the sampling hook
+// promises.
+type Controller struct {
+	p    Params
+	mode Mode
+	cap  sim.Duration
+	head sim.Duration
+	// waitNum and waitDen are exponentially decayed sums of windowed wait
+	// cycles and completed acquisitions; waitUS is their ratio. Under an
+	// unfair spin lock the per-window mean is bimodal — windows where only
+	// lucky near-release winners complete read a few microseconds while the
+	// true long-waiters are still pending — so a single window is a biased
+	// estimator. Decaying both sums weights each completion by its actual
+	// wait, smooths the alternation, and leaves the ratio untouched across
+	// windows in which nothing completes.
+	waitNum, waitDen float64
+	waitUS           float64
+	// utilEWMA smooths home-module utilization over the same horizon.
+	// Windowed spin-lock utilization is bimodal too: each completed
+	// acquisition restarts the winner's backoff at 1us, so windows catching
+	// a restart burst read near saturation while their neighbors read the
+	// long-cap baseline. Decisions are taken on the smoothed value, so only
+	// sustained saturation — not a one-window burst — can force the cap up
+	// or cross the lock over to queue mode.
+	utilEWMA float64
+	// switches counts mode transitions; samples counts observations.
+	switches, samples uint64
+	log               []Decision
+}
+
+// NewController builds a controller starting in spin mode at MinCap — the
+// optimistic stance: assume no contention until the measurements say
+// otherwise.
+func NewController(p Params) *Controller {
+	p = p.withDefaults()
+	return &Controller{p: p, mode: ModeSpin, cap: p.MinCap, head: p.MinHead}
+}
+
+// Params returns the defaulted parameters.
+func (c *Controller) Params() Params { return c.p }
+
+// Mode reports the currently chosen lock shape.
+func (c *Controller) Mode() Mode { return c.mode }
+
+// BackoffCap reports the current backoff cap for spinning contenders.
+func (c *Controller) BackoffCap() sim.Duration { return c.cap }
+
+// HeadBackoff reports the current cap on queue-head polling.
+func (c *Controller) HeadBackoff() sim.Duration { return c.head }
+
+// Switches reports how many spin<->queue transitions have occurred.
+func (c *Controller) Switches() uint64 { return c.switches }
+
+// Samples reports how many observation windows have been consumed.
+func (c *Controller) Samples() uint64 { return c.samples }
+
+// NextCap is the pure cap-update law. The target is WaitFactor x the
+// measured mean acquire latency, clamped to [MinCap, MaxCap]; the cap
+// moves multiplicatively toward it — doubling while below half the
+// target, halving while above double it — so it is always within a factor
+// of two of a stable target. Home-module saturation (util >= SatHigh)
+// overrides the wait signal in the upward direction only: it forces an
+// increase regardless of the wait and blocks any decrease, but a module
+// merely inside the hysteresis band never pins an overshot cap in place.
+// The law is monotone non-decreasing in util and in waitUS for fixed prev
+// — the metamorphic property the tests pin down: raising offered load
+// raises both signals, so offered load can never lower the chosen backoff
+// cap.
+func (p Params) NextCap(prev sim.Duration, util, waitUS float64) sim.Duration {
+	p = p.withDefaults()
+	target := sim.Micros(p.WaitFactor * waitUS)
+	next := prev
+	switch {
+	case util >= p.SatHigh || target >= 2*prev:
+		next = prev * 2
+	case target <= prev/2:
+		next = prev / 2
+	}
+	if next < p.MinCap {
+		next = p.MinCap
+	}
+	if next > p.MaxCap {
+		next = p.MaxCap
+	}
+	return next
+}
+
+// nextHead applies the utilization half of the law to the queue-head
+// polling cap. Only the utilization signal drives it: in queue mode the
+// head is the sole poller, so its wait reflects hold time, not bandwidth
+// pressure.
+func (p Params) nextHead(prev sim.Duration, util float64) sim.Duration {
+	next := prev
+	switch {
+	case util >= p.SatHigh:
+		next = prev * 2
+	case util <= p.SatLow:
+		next = prev / 2
+	}
+	if next < p.MinHead {
+		next = p.MinHead
+	}
+	if next > p.MaxHead {
+		next = p.MaxHead
+	}
+	return next
+}
+
+// Observe consumes one sampling window and updates the published constants.
+// Both signals are smoothed over a ~4-window horizon before any decision is
+// taken. The crossover rule: spinning is abandoned only when the home
+// module stays saturated with the cap already at MaxCap — i.e. when backing
+// off further is impossible and the module still has no headroom — and
+// resumed when smoothed utilization falls below SatLow (the hysteresis band
+// plus the smoothing lag prevent flapping on one-window bursts).
+func (c *Controller) Observe(s Sample) {
+	c.samples++
+	prevMode := c.mode
+	c.waitNum = waitDecay*c.waitNum + float64(s.Lock.WaitCycles)
+	c.waitDen = waitDecay*c.waitDen + float64(s.Lock.Acquisitions)
+	if c.waitDen >= waitDenFloor {
+		c.waitUS = c.waitNum / c.waitDen / sim.CyclesPerMicrosecond
+	}
+	c.utilEWMA = waitDecay*c.utilEWMA + (1-waitDecay)*s.HomeUtil
+	util := c.utilEWMA
+	atMax := c.cap == c.p.MaxCap
+	c.cap = c.p.NextCap(c.cap, util, c.waitUS)
+	c.head = c.p.nextHead(c.head, util)
+	switch c.mode {
+	case ModeSpin:
+		if util >= c.p.SatHigh && atMax {
+			c.mode = ModeQueue
+		}
+	case ModeQueue:
+		if util <= c.p.SatLow {
+			c.mode = ModeSpin
+		}
+	}
+	if c.mode != prevMode {
+		c.switches++
+	}
+	if c.p.LogLimit > 0 && len(c.log) < c.p.LogLimit {
+		c.log = append(c.log, Decision{
+			At: s.Now, HomeUtil: s.HomeUtil, UtilEWMA: util, WaitUS: c.waitUS,
+			FailFrac: s.failFrac(), Cap: c.cap, Head: c.head, Mode: c.mode,
+		})
+	}
+}
+
+// Log returns the retained decision history (oldest first).
+func (c *Controller) Log() []Decision { return c.log }
+
+// Report renders the decision history and final state as an indented block.
+func (c *Controller) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tuner: %d windows, %d mode switches; final mode %s, cap %.0fus, head %.0fus\n",
+		c.samples, c.switches, c.mode, c.cap.Microseconds(), c.head.Microseconds())
+	// Print the log compressed: only windows where something changed.
+	var prev Decision
+	shown := 0
+	for i, d := range c.log {
+		if i > 0 && d.Cap == prev.Cap && d.Head == prev.Head && d.Mode == prev.Mode {
+			prev = d
+			continue
+		}
+		fmt.Fprintf(&b, "  t=%-12v util %4.0f%% (ewma %3.0f%%)  wait %7.1fus  cap %6.0fus  head %4.0fus  %s\n",
+			d.At, d.HomeUtil*100, d.UtilEWMA*100, d.WaitUS, d.Cap.Microseconds(), d.Head.Microseconds(), d.Mode)
+		prev = d
+		shown++
+		if shown >= 32 {
+			fmt.Fprintf(&b, "  ... (%d more windows)\n", len(c.log)-i-1)
+			break
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,298 @@
+package tune
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hurricane/internal/sim"
+)
+
+// TestNextCapMonotoneInLoad pins the metamorphic property the tuner's
+// trustworthiness rests on: for any previous cap, raising either pressure
+// signal — home-module utilization or measured mean acquire wait — never
+// yields a lower cap. Raising offered load raises both signals, so offered
+// load can never lower the chosen backoff cap.
+func TestNextCapMonotoneInLoad(t *testing.T) {
+	p := DefaultParams()
+	f := func(prevRaw uint32, a, b, wa, wb float64) bool {
+		u1, u2 := normUtil(a), normUtil(b)
+		if u1 > u2 {
+			u1, u2 = u2, u1
+		}
+		w1, w2 := normWait(wa), normWait(wb)
+		if w1 > w2 {
+			w1, w2 = w2, w1
+		}
+		prev := p.MinCap + sim.Duration(prevRaw)%(p.MaxCap-p.MinCap+1)
+		return p.NextCap(prev, u2, w2) >= p.NextCap(prev, u1, w1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// normUtil folds an arbitrary float into [0, 1.5] (utilization can exceed
+// 1 transiently when service is queued into the future).
+func normUtil(x float64) float64 {
+	if x < 0 {
+		x = -x
+	}
+	for x > 1.5 {
+		x /= 2
+	}
+	return x
+}
+
+// normWait folds an arbitrary float into [0, 4000] microseconds — past
+// both ends of the cap range, so the quick checks cross every branch.
+func normWait(x float64) float64 {
+	if x < 0 {
+		x = -x
+	}
+	for x > 4000 {
+		x /= 2
+	}
+	return x
+}
+
+func TestNextCapClamps(t *testing.T) {
+	p := DefaultParams()
+	if got := p.NextCap(p.MaxCap, 1.0, 4000); got != p.MaxCap {
+		t.Fatalf("cap above MaxCap: %v", got)
+	}
+	if got := p.NextCap(p.MinCap, 0.0, 0); got != p.MinCap {
+		t.Fatalf("cap below MinCap: %v", got)
+	}
+	// A wait near the current cap holds it (the factor-of-two dead band),
+	// even with the module idle.
+	prev := sim.Micros(64)
+	if got := p.NextCap(prev, 0.0, 64); got != prev {
+		t.Fatalf("cap moved inside the dead band: %v", got)
+	}
+	// A wait far above the cap doubles it even with the module idle (the
+	// moderate-contention regime Figure 5b rewards with longer caps).
+	if got := p.NextCap(prev, 0.0, 1000); got != 2*prev {
+		t.Fatalf("cap under wait pressure alone = %v, want %v", got, 2*prev)
+	}
+	// Saturation doubles the cap even when the wait alone would hold it.
+	if got := p.NextCap(prev, 0.95, 64); got != 2*prev {
+		t.Fatalf("cap under saturation = %v, want %v", got, 2*prev)
+	}
+	// A short wait shrinks an overshot cap even while the module sits
+	// inside the mode-hysteresis band — only saturation pins the cap up.
+	mid := (p.SatLow + p.SatHigh) / 2
+	if got := p.NextCap(prev, mid, 0); got != prev/2 {
+		t.Fatalf("overshot cap did not decay below saturation: %v", got)
+	}
+	// At saturation the same short wait cannot shrink it.
+	if got := p.NextCap(prev, p.SatHigh, 0); got != 2*prev {
+		t.Fatalf("cap at saturation with short wait = %v, want %v", got, 2*prev)
+	}
+}
+
+// TestCrossoverRequiresSaturationAtMaxCap: the spin→queue switch happens
+// only when backing off further is impossible (cap already MaxCap) and the
+// home module is still saturated — the "measured saturation threshold" of
+// the paper's analysis, not a queue-length heuristic.
+func TestCrossoverRequiresSaturationAtMaxCap(t *testing.T) {
+	c := NewController(Params{})
+	p := c.Params()
+	// Saturated, but cap still climbing: stays in spin mode. (The smoothed
+	// utilization takes a few windows to register the saturation at all —
+	// the anti-flap lag — so bound the loop.)
+	for i := 0; c.BackoffCap() < p.MaxCap; i++ {
+		if c.Mode() != ModeSpin {
+			t.Fatalf("crossed over at cap %v < MaxCap", c.BackoffCap())
+		}
+		c.Observe(Sample{HomeUtil: 0.95})
+		if i > 100 {
+			t.Fatal("cap never reached MaxCap under sustained saturation")
+		}
+	}
+	// One more saturated window at MaxCap: cross over.
+	c.Observe(Sample{HomeUtil: 0.95})
+	if c.Mode() != ModeQueue {
+		t.Fatal("did not cross over at MaxCap under saturation")
+	}
+	// Inside the hysteresis band: stays queued.
+	c.Observe(Sample{HomeUtil: (p.SatLow + p.SatHigh) / 2})
+	if c.Mode() != ModeQueue {
+		t.Fatal("left queue mode inside the hysteresis band")
+	}
+	// Sustained idle: back to spinning once the smoothed utilization falls
+	// through SatLow — and not on the first idle window (anti-flap).
+	c.Observe(Sample{HomeUtil: 0.10})
+	if c.Mode() != ModeQueue {
+		t.Fatal("left queue mode on a single low window (no smoothing lag)")
+	}
+	for i := 0; c.Mode() != ModeSpin; i++ {
+		c.Observe(Sample{HomeUtil: 0.10})
+		if i > 20 {
+			t.Fatal("did not return to spin mode under sustained idle")
+		}
+	}
+	if c.Switches() != 2 {
+		t.Fatalf("switches = %d, want 2", c.Switches())
+	}
+}
+
+// TestCapDecaysToMinUnderIdle: a controller that saw load and then sees an
+// idle module walks the cap back down to MinCap (the uncontended-latency
+// half of the trade-off).
+func TestCapDecaysToMinUnderIdle(t *testing.T) {
+	c := NewController(Params{})
+	for i := 0; i < 20; i++ {
+		c.Observe(Sample{HomeUtil: 0.95})
+	}
+	if c.BackoffCap() != c.Params().MaxCap {
+		t.Fatalf("cap after sustained saturation = %v, want MaxCap", c.BackoffCap())
+	}
+	for i := 0; i < 20; i++ {
+		c.Observe(Sample{HomeUtil: 0.0})
+	}
+	if c.BackoffCap() != c.Params().MinCap {
+		t.Fatalf("cap after sustained idle = %v, want MinCap", c.BackoffCap())
+	}
+	if c.Mode() != ModeSpin {
+		t.Fatalf("mode after idle = %v, want spin", c.Mode())
+	}
+}
+
+// TestCapTracksMeasuredWait: the cap converges to within a factor of two
+// of the measured wait and then holds, without needing the module
+// saturated — and a window with no completed acquisitions carries the
+// estimate forward instead of reading as "no waiting".
+func TestCapTracksMeasuredWait(t *testing.T) {
+	c := NewController(Params{})
+	waited := func(us float64) Sample {
+		return Sample{HomeUtil: 0.30, Lock: Counters{
+			Acquisitions: 4,
+			WaitCycles:   sim.Micros(us * 4),
+		}}
+	}
+	for i := 0; i < 12; i++ {
+		c.Observe(waited(300))
+	}
+	got := c.BackoffCap()
+	if got < sim.Micros(150) || got > sim.Micros(600) {
+		t.Fatalf("cap = %v after steady 300us waits, want within 2x of 300us", got)
+	}
+	// An empty window (nothing completed) must not release the pressure.
+	c.Observe(Sample{HomeUtil: 0.30})
+	if c.BackoffCap() != got {
+		t.Fatalf("cap moved on an empty window: %v -> %v", got, c.BackoffCap())
+	}
+}
+
+// TestCapStableUnderBimodalWait reproduces the estimator hazard an unfair
+// spin lock creates: windows alternate between long-waiter completions
+// (~1400us) and lucky near-release winners (~5us). A per-window mean would
+// flap the cap by 8x every window; the decayed estimator must converge and
+// then hold the cap steady near the true mean wait.
+func TestCapStableUnderBimodalWait(t *testing.T) {
+	c := NewController(Params{})
+	window := func(us float64) Sample {
+		return Sample{HomeUtil: 0.30, Lock: Counters{
+			Acquisitions: 3,
+			WaitCycles:   sim.Micros(us * 3),
+		}}
+	}
+	var caps []sim.Duration
+	for i := 0; i < 40; i++ {
+		if i%2 == 0 {
+			c.Observe(window(1400))
+		} else {
+			c.Observe(window(5))
+		}
+		caps = append(caps, c.BackoffCap())
+	}
+	final := caps[len(caps)-1]
+	if final < sim.Micros(256) {
+		t.Fatalf("cap collapsed to %v under bimodal waits (true mean ~700us)", final)
+	}
+	for _, got := range caps[len(caps)-10:] {
+		if got != final {
+			t.Fatalf("cap still flapping in last 10 windows: %v vs %v", got, final)
+		}
+	}
+}
+
+// TestAttachSamplesUtilization drives a bare engine + resource and checks
+// the sampler's windowed diffing, including dropping the window that
+// straddles a ResetStats.
+func TestAttachSamplesUtilization(t *testing.T) {
+	eng := sim.NewEngine()
+	res := &sim.Resource{Name: "module0"}
+	c := NewController(Params{Period: 100})
+	var utils []float64
+	// Shadow controller observation via the log.
+	Attach(eng, res, func() Counters { return Counters{} }, c)
+	// Window 1 [0,100]: 50 busy cycles. Window 2 [100,200]: reset at 150.
+	// Window 3 [200,300]: 30 busy cycles.
+	eng.At(0, func() { res.Acquire(0, 50) })
+	eng.At(140, func() { res.Acquire(140, 10) })
+	eng.At(150, func() { res.ResetStats(150) })
+	eng.At(210, func() { res.Acquire(210, 30) })
+	eng.At(301, func() {}) // keep the run alive through the third window
+	eng.RunAll()
+	for _, d := range c.Log() {
+		utils = append(utils, d.HomeUtil)
+	}
+	if len(utils) != 2 {
+		t.Fatalf("observed %d windows, want 2 (reset window dropped): %+v", len(utils), c.Log())
+	}
+	if utils[0] != 0.5 {
+		t.Fatalf("window 1 utilization = %v, want 0.5", utils[0])
+	}
+	// Window 3 diffs from the resynchronized post-reset counter: 30 busy
+	// cycles over [200, 300].
+	if utils[1] != 30.0/100.0 {
+		t.Fatalf("window 3 utilization = %v, want 0.3", utils[1])
+	}
+}
+
+// TestAttachDiffsLockCounters checks the sampler hands the controller
+// per-window lock counter diffs, not cumulative values.
+func TestAttachDiffsLockCounters(t *testing.T) {
+	eng := sim.NewEngine()
+	res := &sim.Resource{Name: "module0"}
+	c := NewController(Params{Period: 100})
+	cum := Counters{}
+	Attach(eng, res, func() Counters { return cum }, c)
+	eng.At(10, func() {
+		cum = Counters{Attempts: 5, Failures: 2, Acquisitions: 3, WaitCycles: 90}
+	})
+	eng.At(110, func() {
+		cum = Counters{Attempts: 9, Failures: 2, Acquisitions: 7, WaitCycles: 150}
+	})
+	eng.At(201, func() {})
+	eng.RunAll()
+	log := c.Log()
+	if len(log) != 2 {
+		t.Fatalf("observed %d windows, want 2", len(log))
+	}
+	// Window 1 wait estimate: 90 cycles / 3 acquisitions at 16 cycles/us —
+	// proving the sampler fed the window diff, not the cumulative counters.
+	if want := 90.0 / 3 / sim.CyclesPerMicrosecond; log[0].WaitUS != want {
+		t.Fatalf("window 1 wait = %v, want %v", log[0].WaitUS, want)
+	}
+	// Window 2 diffs to 60 cycles / 4 acquisitions, blended into the decayed
+	// estimator: (0.75*90+60)/(0.75*3+4) cycles. Fail frac: (9-5)=4 attempts,
+	// 0 failures.
+	if want := (0.75*90 + 60) / (0.75*3 + 4) / sim.CyclesPerMicrosecond; log[1].WaitUS != want {
+		t.Fatalf("window 2 wait = %v, want %v", log[1].WaitUS, want)
+	}
+	if log[1].FailFrac != 0 {
+		t.Fatalf("window 2 fail frac = %v, want 0", log[1].FailFrac)
+	}
+}
+
+// TestControllerReportRendering sanity-checks the text report.
+func TestControllerReportRendering(t *testing.T) {
+	c := NewController(Params{})
+	c.Observe(Sample{Now: 100, HomeUtil: 0.9, Lock: Counters{Attempts: 10, Failures: 5}})
+	s := c.Report()
+	if s == "" || c.Samples() != 1 {
+		t.Fatalf("empty report or samples=%d", c.Samples())
+	}
+}

@@ -137,16 +137,62 @@ type LockStressObserved struct {
 	HomeModule int
 }
 
+// StressConfig parameterizes a lock stress run (the Figure 5 loop) on an
+// arbitrary machine configuration — the generalization the tuning and
+// scaling experiments need, where the same loop must run on both the
+// 16-processor HECTOR and the 64-processor NUMAchine configurations.
+type StressConfig struct {
+	// Machine is the hardware configuration, including the seed. The zero
+	// value takes the HECTOR defaults (4 stations x 4 processors).
+	Machine sim.Config
+	// Kind selects the lock algorithm; ignored when MakeLock is set.
+	Kind locks.Kind
+	// MakeLock, when non-nil, overrides lock construction — e.g. to keep a
+	// handle on a locks.Tuned for its controller report, or to pass
+	// explicit tune.Params. It must allocate the lock before returning so
+	// the word layout matches the default path.
+	MakeLock func(m *sim.Machine, home int) locks.Lock
+	// Procs is how many processors run the loop; Rounds how many measured
+	// acquire/release pairs each performs; Warmup how many unmeasured
+	// pairs precede the measurement window.
+	Procs, Rounds, Warmup int
+	// Hold is the critical-section hold time.
+	Hold sim.Duration
+	// Home is the lock's (and protected data's) home module.
+	Home int
+	// Tracer, when non-nil, observes the whole run including warm-up.
+	Tracer sim.Tracer
+}
+
 // LockStressInstrumented runs the LockStress experiment with warmup
 // warm-up rounds per processor excluded from every statistic: after the
 // warm-up all processors barrier, the resource windows and lock telemetry
 // reset, and only then do the measured rounds count. A non-nil tracer
 // observes the whole run (including warm-up).
 func LockStressInstrumented(seed uint64, kind locks.Kind, nprocs, rounds, warmup int, hold sim.Duration, tracer sim.Tracer) *LockStressObserved {
-	const home = 0
-	m := sim.NewMachine(sim.Config{Seed: seed})
-	m.SetTracer(tracer)
-	l := locks.NewStats(m, locks.New(m, kind, home))
+	return LockStressRun(StressConfig{
+		Machine: sim.Config{Seed: seed},
+		Kind:    kind,
+		Procs:   nprocs,
+		Rounds:  rounds,
+		Warmup:  warmup,
+		Hold:    hold,
+		Tracer:  tracer,
+	})
+}
+
+// LockStressRun is the config-driven form of LockStressInstrumented. With a
+// zero-value Machine it reproduces LockStressInstrumented exactly (same
+// event order, same statistics).
+func LockStressRun(cfg StressConfig) *LockStressObserved {
+	home := cfg.Home
+	m := sim.NewMachine(cfg.Machine)
+	m.SetTracer(cfg.Tracer)
+	mk := cfg.MakeLock
+	if mk == nil {
+		mk = func(m *sim.Machine, home int) locks.Lock { return locks.New(m, cfg.Kind, home) }
+	}
+	l := locks.NewStats(m, mk(m, home))
 	data := m.Alloc(home, 8)
 	holdWork := func(p *sim.Proc, h sim.Duration) {
 		chunk := sim.Micros(2)
@@ -159,13 +205,13 @@ func LockStressInstrumented(seed uint64, kind locks.Kind, nprocs, rounds, warmup
 	}
 	res := &LockStressObserved{Lock: l, HomeModule: home}
 	dist := &stats.Dist{}
-	bar := NewBarrier(nprocs)
+	bar := NewBarrier(cfg.Procs)
 	windowOpen := false
-	for i := 0; i < nprocs; i++ {
+	for i := 0; i < cfg.Procs; i++ {
 		m.Go(i, func(p *sim.Proc) {
-			for r := 0; r < warmup; r++ {
+			for r := 0; r < cfg.Warmup; r++ {
 				l.Acquire(p)
-				holdWork(p, hold)
+				holdWork(p, cfg.Hold)
 				l.Release(p)
 			}
 			bar.Wait(p)
@@ -178,11 +224,11 @@ func LockStressInstrumented(seed uint64, kind locks.Kind, nprocs, rounds, warmup
 				m.Mem.ResetStats()
 				l.ResetWindow()
 			}
-			for r := 0; r < rounds; r++ {
+			for r := 0; r < cfg.Rounds; r++ {
 				t0 := p.Now()
 				l.Acquire(p)
 				dist.Add((p.Now() - t0).Microseconds())
-				holdWork(p, hold)
+				holdWork(p, cfg.Hold)
 				l.Release(p)
 			}
 		})
@@ -191,9 +237,9 @@ func LockStressInstrumented(seed uint64, kind locks.Kind, nprocs, rounds, warmup
 	m.Shutdown()
 	res.WindowEnd = m.Eng.Now()
 	measured := res.WindowEnd - res.WindowStart
-	perOp := float64(measured) / float64(rounds) / sim.CyclesPerMicrosecond
+	perOp := float64(measured) / float64(cfg.Rounds) / sim.CyclesPerMicrosecond
 	res.LockStressResult = LockStressResult{
-		PairUS:      perOp - hold.Microseconds(),
+		PairUS:      perOp - cfg.Hold.Microseconds(),
 		AcquireUS:   dist.Mean(),
 		AcquireDist: dist,
 	}
