@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench results bench-diff bench-baseline
+.PHONY: ci vet build test race bench bench-wall results bench-diff bench-baseline jobs-equiv profile
 
-ci: vet build test race bench-diff
+ci: vet build test race bench-diff jobs-equiv
 
 vet:
 	$(GO) vet ./...
@@ -16,13 +16,20 @@ build:
 test:
 	$(GO) test ./...
 
-# The simulated locks run single-threaded by construction; the native
-# ports use real atomics, so they are the race detector's job.
+# The simulated locks run single-threaded by construction, but the parallel
+# experiment harness (exp.RunParallel / hurricane-bench -jobs) and the
+# native lock ports are real Go concurrency: keep them provably race-free.
 race:
-	$(GO) test -race ./internal/native/...
+	$(GO) test -race ./internal/native/... ./internal/exp/... ./internal/workload/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Simulator wall-clock throughput: ns of host time per simulated engine
+# event for the engine hot paths (dispatch, coalesced think, memory access,
+# contended swap, watch/park hand-off) and the lock acquire paths.
+bench-wall:
+	$(GO) test -bench . -run NONE -benchmem ./internal/sim/ ./internal/locks/
 
 # Regenerate every table/figure plus the machine-readable BENCH_sim.json.
 results:
@@ -36,7 +43,23 @@ bench-diff:
 	$(GO) run ./cmd/hurricane-bench -quick -json BENCH_sim.json > /dev/null
 	$(GO) run ./cmd/bench-diff
 
+# Determinism gate for the worker pool: the quick summary must be
+# byte-identical when cells run serially and on an 8-way pool.
+jobs-equiv:
+	$(GO) run ./cmd/hurricane-bench -quick -jobs 1 -json /tmp/hurricane_jobs1.json > /dev/null
+	$(GO) run ./cmd/hurricane-bench -quick -jobs 8 -json /tmp/hurricane_jobs8.json > /dev/null
+	cmp /tmp/hurricane_jobs1.json /tmp/hurricane_jobs8.json
+	@echo "jobs-equiv: -jobs 1 and -jobs 8 summaries are byte-identical"
+
 # Refresh the checked-in baseline after an intentional performance change
 # (commit the result and explain the shift in the PR).
 bench-baseline:
 	$(GO) run ./cmd/hurricane-bench -quick -json BENCH_sim.baseline.json > /dev/null
+
+# CPU/allocation profiles of the quick suite (serial, so one experiment's
+# profile is not polluted by another's goroutine): start here before any
+# perf PR.
+profile:
+	$(GO) run ./cmd/hurricane-bench -quick -jobs 1 -json /tmp/hurricane_prof.json \
+		-cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
+	$(GO) tool pprof -top -nodecount 15 cpu.pprof

@@ -297,12 +297,15 @@ func HybridAblation(seed uint64, rounds int) *Table {
 		m.Shutdown()
 		return dist.Mean()
 	}
-	for _, x := range mks {
-		ind := run(x.make, false)
-		sh := run(x.make, true)
+	// Each (strategy, sharing) run is an independent machine: fan out.
+	means := make([]float64, 2*len(mks))
+	RunParallel(len(means), func(i int) {
+		means[i] = run(mks[i/2].make, i%2 == 1)
+	})
+	for i, x := range mks {
 		m := sim.NewMachine(sim.Config{Seed: seed})
 		space := x.make(m).SpaceOverheadWords(1000)
-		t.AddRow(x.name, f1(ind), f1(sh), fmt.Sprintf("%d", space))
+		t.AddRow(x.name, f1(means[2*i]), f1(means[2*i+1]), fmt.Sprintf("%d", space))
 	}
 	t.Note("hybrid matches fine-grain concurrency for independent keys at coarse-grain space cost")
 	return t
@@ -317,8 +320,14 @@ func LockFree(seed uint64, rounds int) *Table {
 		Title: "Sec 5: lock-free leaf update vs locked update (us/increment)",
 		Cols:  []string{"strategy", "uncontended", "8 procs"},
 	}
-	solo := lockfree.Compare(seed, 1, rounds)
-	hot := lockfree.Compare(seed, 8, rounds)
+	var solo, hot lockfree.CompareResult
+	RunParallel(2, func(i int) {
+		if i == 0 {
+			solo = lockfree.Compare(seed, 1, rounds)
+		} else {
+			hot = lockfree.Compare(seed, 8, rounds)
+		}
+	})
 	t.AddRow("CAS lock-free", f2(solo.LockFreeUS), f2(hot.LockFreeUS))
 	t.AddRow("spin lock + load/store", f2(solo.SpinUS), f2(hot.SpinUS))
 	t.AddRow("H2-MCS + load/store", f2(solo.MCSUS), f2(hot.MCSUS))
@@ -335,14 +344,18 @@ func Scaling(seed uint64, rounds int) *Table {
 		Title: "Sec 5.3: independent faults on NUMAchine-64 (fault time us vs cluster size)",
 		Cols:  []string{"clusterSize", "DistributedLock"},
 	}
-	for _, cs := range []int{4, 16, 64} {
+	sizes := []int{4, 16, 64}
+	res := make([]workload.FaultResult, len(sizes))
+	RunParallel(len(sizes), func(i int) {
 		sys := core.NewSystem(core.Config{
 			Machine:     machine.NUMAchine64(seed),
-			ClusterSize: cs,
+			ClusterSize: sizes[i],
 			LockKind:    locks.KindH2MCS,
 		})
-		r := workload.IndependentFaults(sys, 64, 4, rounds)
-		t.AddRow(fmt.Sprintf("%d", cs), f1(r.Dist.Mean()))
+		res[i] = workload.IndependentFaults(sys, 64, 4, rounds)
+	})
+	for i, cs := range sizes {
+		t.AddRow(fmt.Sprintf("%d", cs), f1(res[i].Dist.Mean()))
 	}
 	t.Note("larger, faster machines make bounding contention via clustering more important (§5.2)")
 	return t

@@ -76,12 +76,28 @@ func Figure5(seed uint64, holdUS float64, rounds int) *Table {
 	for _, k := range figure5Kinds {
 		t.Cols = append(t.Cols, k.String())
 	}
-	results := make(map[locks.Kind]map[int]workload.LockStressResult)
+	// One cell per (lock, p); cells are independent machines, so they run
+	// on the worker pool and are merged back in declaration order.
+	type cell struct {
+		k locks.Kind
+		p int
+	}
+	var cells []cell
 	for _, k := range figure5Kinds {
-		results[k] = make(map[int]workload.LockStressResult)
 		for _, p := range ProcCounts {
-			results[k][p] = workload.LockStress(seed, k, p, rounds, sim.Micros(holdUS))
+			cells = append(cells, cell{k, p})
 		}
+	}
+	flat := make([]workload.LockStressResult, len(cells))
+	RunParallel(len(cells), func(i int) {
+		flat[i] = workload.LockStress(seed, cells[i].k, cells[i].p, rounds, sim.Micros(holdUS))
+	})
+	results := make(map[locks.Kind]map[int]workload.LockStressResult)
+	for i, c := range cells {
+		if results[c.k] == nil {
+			results[c.k] = make(map[int]workload.LockStressResult)
+		}
+		results[c.k][c.p] = flat[i]
 	}
 	for _, p := range ProcCounts {
 		row := []string{fmt.Sprintf("%d", p)}
@@ -121,13 +137,21 @@ func Figure7a(seed uint64, rounds int) *Table {
 		Title: "Figure 7a: independent faults, 1 cluster of 16 (fault time us vs p)",
 		Cols:  []string{"p", "DistributedLock", "SpinLock"},
 	}
-	for _, p := range ProcCounts {
-		dl := workload.IndependentFaults(faultSystem(seed, 16, locks.KindH2MCS), p, 4, rounds)
-		sp := workload.IndependentFaults(faultSystem(seed, 16, locks.KindSpin), p, 4, rounds)
-		t.AddRow(fmt.Sprintf("%d", p), f1(dl.Dist.Mean()), f1(sp.Dist.Mean()))
+	dls := make([]workload.FaultResult, len(ProcCounts))
+	sps := make([]workload.FaultResult, len(ProcCounts))
+	RunParallel(2*len(ProcCounts), func(i int) {
+		p := ProcCounts[i/2]
+		if i%2 == 0 {
+			dls[i/2] = workload.IndependentFaults(faultSystem(seed, 16, locks.KindH2MCS), p, 4, rounds)
+		} else {
+			sps[i/2] = workload.IndependentFaults(faultSystem(seed, 16, locks.KindSpin), p, 4, rounds)
+		}
+	})
+	for i, p := range ProcCounts {
+		t.AddRow(fmt.Sprintf("%d", p), f1(dls[i].Dist.Mean()), f1(sps[i].Dist.Mean()))
 		if p == 16 {
-			t.AddMetric("distributed.fault_p16", dl.Dist.Mean(), "us")
-			t.AddMetric("spin.fault_p16", sp.Dist.Mean(), "us")
+			t.AddMetric("distributed.fault_p16", dls[i].Dist.Mean(), "us")
+			t.AddMetric("spin.fault_p16", sps[i].Dist.Mean(), "us")
 		}
 	}
 	t.Note("paper: with 16 processors faulting, spin-lock latency is over 2x the distributed-lock latency")
@@ -141,13 +165,21 @@ func Figure7b(seed uint64, npages, rounds int) *Table {
 		Title: "Figure 7b: shared faults, 1 cluster of 16 (fault time us vs p)",
 		Cols:  []string{"p", "DistributedLock", "SpinLock"},
 	}
-	for _, p := range ProcCounts {
-		dl := workload.SharedFaults(faultSystem(seed, 16, locks.KindH2MCS), p, npages, rounds)
-		sp := workload.SharedFaults(faultSystem(seed, 16, locks.KindSpin), p, npages, rounds)
-		t.AddRow(fmt.Sprintf("%d", p), f1(dl.Dist.Mean()), f1(sp.Dist.Mean()))
+	dls := make([]workload.FaultResult, len(ProcCounts))
+	sps := make([]workload.FaultResult, len(ProcCounts))
+	RunParallel(2*len(ProcCounts), func(i int) {
+		p := ProcCounts[i/2]
+		if i%2 == 0 {
+			dls[i/2] = workload.SharedFaults(faultSystem(seed, 16, locks.KindH2MCS), p, npages, rounds)
+		} else {
+			sps[i/2] = workload.SharedFaults(faultSystem(seed, 16, locks.KindSpin), p, npages, rounds)
+		}
+	})
+	for i, p := range ProcCounts {
+		t.AddRow(fmt.Sprintf("%d", p), f1(dls[i].Dist.Mean()), f1(sps[i].Dist.Mean()))
 		if p == 16 {
-			t.AddMetric("distributed.fault_p16", dl.Dist.Mean(), "us")
-			t.AddMetric("spin.fault_p16", sp.Dist.Mean(), "us")
+			t.AddMetric("distributed.fault_p16", dls[i].Dist.Mean(), "us")
+			t.AddMetric("spin.fault_p16", sps[i].Dist.Mean(), "us")
 		}
 	}
 	t.Note("paper: the gap between lock types is much smaller than 7a (contention moves to the reserve bits)")
@@ -161,15 +193,26 @@ func Figure7c(seed uint64, rounds int) *Table {
 		Title: "Figure 7c: independent faults, 16 processors (fault time us vs cluster size)",
 		Cols:  []string{"clusterSize", "DistributedLock"},
 	}
-	for _, cs := range ClusterSizes {
-		dl := workload.IndependentFaults(faultSystem(seed, cs, locks.KindH2MCS), 16, 4, rounds)
-		t.AddRow(fmt.Sprintf("%d", cs), f1(dl.Dist.Mean()))
-		t.AddMetric(fmt.Sprintf("fault_cs%d", cs), dl.Dist.Mean(), "us")
+	// The sweep cells plus the paper's two equivalence-check cells (16
+	// procs in 4x4 clusters vs 4 procs in one 16-proc cluster) all run on
+	// the pool.
+	res := make([]workload.FaultResult, len(ClusterSizes)+2)
+	RunParallel(len(res), func(i int) {
+		switch {
+		case i < len(ClusterSizes):
+			res[i] = workload.IndependentFaults(faultSystem(seed, ClusterSizes[i], locks.KindH2MCS), 16, 4, rounds)
+		case i == len(ClusterSizes):
+			res[i] = workload.IndependentFaults(faultSystem(seed, 4, locks.KindH2MCS), 16, 4, rounds)
+		default:
+			res[i] = workload.IndependentFaults(faultSystem(seed, 16, locks.KindH2MCS), 4, 4, rounds)
+		}
+	})
+	for i, cs := range ClusterSizes {
+		t.AddRow(fmt.Sprintf("%d", cs), f1(res[i].Dist.Mean()))
+		t.AddMetric(fmt.Sprintf("fault_cs%d", cs), res[i].Dist.Mean(), "us")
 	}
-	// The paper's equivalence check: 16 procs in 4 clusters of 4 should
-	// match 4 procs in one 16-proc cluster.
-	four4 := workload.IndependentFaults(faultSystem(seed, 4, locks.KindH2MCS), 16, 4, rounds)
-	one4 := workload.IndependentFaults(faultSystem(seed, 16, locks.KindH2MCS), 4, 4, rounds)
+	four4 := res[len(ClusterSizes)]
+	one4 := res[len(ClusterSizes)+1]
 	t.Note("16 procs in 4x4 clusters: %.1fus vs 4 procs in 1x16 cluster: %.1fus (paper: equal)",
 		four4.Dist.Mean(), one4.Dist.Mean())
 	return t
@@ -183,11 +226,14 @@ func Figure7d(seed uint64, npages, rounds int) *Table {
 		Title: "Figure 7d: shared faults, 16 processors (fault time us vs cluster size)",
 		Cols:  []string{"clusterSize", "DistributedLock", "coherenceRPCs", "replications"},
 	}
-	for _, cs := range ClusterSizes {
-		dl := workload.SharedFaults(faultSystem(seed, cs, locks.KindH2MCS), 16, npages, rounds)
-		t.AddRow(fmt.Sprintf("%d", cs), f1(dl.Dist.Mean()),
-			d(dl.Stats.CoherenceRPCs), d(dl.Replications))
-		t.AddMetric(fmt.Sprintf("fault_cs%d", cs), dl.Dist.Mean(), "us")
+	res := make([]workload.FaultResult, len(ClusterSizes))
+	RunParallel(len(res), func(i int) {
+		res[i] = workload.SharedFaults(faultSystem(seed, ClusterSizes[i], locks.KindH2MCS), 16, npages, rounds)
+	})
+	for i, cs := range ClusterSizes {
+		t.AddRow(fmt.Sprintf("%d", cs), f1(res[i].Dist.Mean()),
+			d(res[i].Stats.CoherenceRPCs), d(res[i].Replications))
+		t.AddMetric(fmt.Sprintf("fault_cs%d", cs), res[i].Dist.Mean(), "us")
 	}
 	t.Note("paper: moderate cluster sizes perform best; very small sizes are dominated by inter-cluster operations")
 	return t

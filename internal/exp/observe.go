@@ -27,8 +27,12 @@ func LockUtilization(seed uint64, rounds int) *Table {
 	}
 	kinds := []locks.Kind{locks.KindH2MCS, locks.KindSpin}
 	var homeUtil = map[locks.Kind]float64{}
-	for _, k := range kinds {
-		r := workload.LockStressInstrumented(seed, k, 16, rounds, rounds/4+1, sim.Micros(25), nil)
+	runs := make([]*workload.LockStressObserved, len(kinds))
+	RunParallel(len(kinds), func(i int) {
+		runs[i] = workload.LockStressInstrumented(seed, kinds[i], 16, rounds, rounds/4+1, sim.Micros(25), nil)
+	})
+	for i, k := range kinds {
+		r := runs[i]
 		var home, otherMax, ring float64
 		for i, ru := range r.Resources {
 			switch {

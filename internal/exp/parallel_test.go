@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunParallelCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		SetParallelism(workers)
+		var hits [100]int32
+		RunParallel(len(hits), func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+	SetParallelism(1)
+}
+
+func TestRunParallelNestedDoesNotDeadlock(t *testing.T) {
+	SetParallelism(4)
+	defer SetParallelism(1)
+	var total atomic.Int64
+	RunParallel(8, func(i int) {
+		RunParallel(8, func(j int) {
+			total.Add(1)
+		})
+	})
+	if total.Load() != 64 {
+		t.Fatalf("nested cells ran %d times, want 64", total.Load())
+	}
+}
+
+func TestRunParallelPropagatesPanic(t *testing.T) {
+	SetParallelism(4)
+	defer SetParallelism(1)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("cell panic not propagated")
+		}
+		if s, ok := r.(string); !ok || s != "boom" {
+			t.Fatalf("propagated %v, want \"boom\"", r)
+		}
+	}()
+	RunParallel(16, func(i int) {
+		if i == 7 {
+			panic("boom")
+		}
+	})
+}
+
+func TestRunParallelZeroAndNegative(t *testing.T) {
+	ran := false
+	RunParallel(0, func(int) { ran = true })
+	RunParallel(-3, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for n <= 0")
+	}
+}
+
+// TestSerialParallelEquivalence is the harness's headline guarantee: the
+// rendered tables and the exported metrics of the sweep experiments must be
+// byte-identical when their cells run serially and when they run on an
+// 8-way pool. It covers every experiment that fans out internally.
+func TestSerialParallelEquivalence(t *testing.T) {
+	snapshot := func(workers int) []byte {
+		SetParallelism(workers)
+		defer SetParallelism(1)
+		var buf bytes.Buffer
+		for _, tbl := range []*Table{
+			Figure5(3, 25, 8),
+			Figure7a(3, 2),
+			Figure7b(3, 2, 2),
+			Figure7c(3, 2),
+			Figure7d(3, 2, 2),
+			LockUtilization(3, 8),
+			HybridAblation(3, 4),
+			LockFree(3, 4),
+			Scaling(3, 2),
+			TunedCrossover(3, 4),
+		} {
+			fmt.Fprintln(&buf, tbl.String())
+			enc, err := json.Marshal(tbl.Metrics)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf.Write(enc)
+			fmt.Fprintln(&buf)
+		}
+		return buf.Bytes()
+	}
+	serial := snapshot(1)
+	parallel := snapshot(8)
+	if !bytes.Equal(serial, parallel) {
+		for i := range serial {
+			if i >= len(parallel) || serial[i] != parallel[i] {
+				lo := i - 120
+				if lo < 0 {
+					lo = 0
+				}
+				hi := i + 120
+				if hi > len(serial) {
+					hi = len(serial)
+				}
+				t.Fatalf("serial and parallel runs diverge at byte %d:\nserial:   ...%s...\nparallel: ...%s...",
+					i, serial[lo:hi], parallel[lo:min(hi, len(parallel))])
+			}
+		}
+		t.Fatalf("parallel output is a strict prefix extension: serial %d bytes, parallel %d bytes",
+			len(serial), len(parallel))
+	}
+}

@@ -73,42 +73,43 @@ func TunedCrossover(seed uint64, rounds int) *Table {
 		warmup = 2
 	}
 	type point struct{ acq, pair float64 }
-	run := func(cfg workload.StressConfig) point {
-		var pt point
-		for s := uint64(0); s < tunedSeeds; s++ {
-			c := cfg
-			c.Machine.Seed += s
-			r := workload.LockStressRun(c)
-			pt.acq += r.AcquireUS
-			pt.pair += r.PairUS
-		}
-		pt.acq /= tunedSeeds
-		pt.pair /= tunedSeeds
-		return pt
+	// One pool cell per (machine, p, lock), where "lock" is each fixed kind
+	// plus the tuned lock; every cell owns its seed loop, so the per-cell
+	// float accumulation order is identical at any parallelism level. The
+	// reduction below then reads the cells back in declaration order.
+	type cellResult struct {
+		pt      point
+		ctl     *tune.Controller // tuned cells: controller of the last seed run
+		crossed bool
 	}
-	for _, mc := range tunedMachines {
-		worstPair, worstAcq := 0.0, 0.0
-		crossoverP := 0
-		var pairRatios []string
-		for _, p := range mc.Procs {
-			row := []string{mc.Name, fmt.Sprintf("%d", p)}
-			var bestAcq, bestPair float64
-			for _, k := range tunedCrossoverKinds {
-				pt := run(workload.StressConfig{
-					Machine: mc.Cfg(seed), Kind: k,
-					Procs: p, Rounds: rounds, Warmup: warmup, Hold: hold,
-				})
-				row = append(row, f1(pt.acq))
-				if bestAcq == 0 || pt.acq < bestAcq {
-					bestAcq = pt.acq
-				}
-				if bestPair == 0 || pt.pair < bestPair {
-					bestPair = pt.pair
-				}
+	nLocks := len(tunedCrossoverKinds) + 1
+	type cellKey struct{ mi, pi, ki int }
+	var cells []cellKey
+	for mi, mc := range tunedMachines {
+		for pi := range mc.Procs {
+			for ki := 0; ki < nLocks; ki++ {
+				cells = append(cells, cellKey{mi, pi, ki})
 			}
-			var tuned point
-			crossed := false
-			var ctl *tune.Controller
+		}
+	}
+	results := make([]cellResult, len(cells))
+	RunParallel(len(cells), func(i int) {
+		c := cells[i]
+		mc := tunedMachines[c.mi]
+		p := mc.Procs[c.pi]
+		var res cellResult
+		if c.ki < len(tunedCrossoverKinds) {
+			for s := uint64(0); s < tunedSeeds; s++ {
+				cfg := workload.StressConfig{
+					Machine: mc.Cfg(seed), Kind: tunedCrossoverKinds[c.ki],
+					Procs: p, Rounds: rounds, Warmup: warmup, Hold: hold,
+				}
+				cfg.Machine.Seed += s
+				r := workload.LockStressRun(cfg)
+				res.pt.acq += r.AcquireUS
+				res.pt.pair += r.PairUS
+			}
+		} else {
 			for s := uint64(0); s < tunedSeeds; s++ {
 				var tl *locks.Tuned
 				r := workload.LockStressRun(workload.StressConfig{
@@ -119,13 +120,42 @@ func TunedCrossover(seed uint64, rounds int) *Table {
 					},
 					Procs: p, Rounds: rounds, Warmup: warmup, Hold: hold,
 				})
-				tuned.acq += r.AcquireUS
-				tuned.pair += r.PairUS
-				ctl = tl.Controller()
-				crossed = crossed || ctl.Switches() > 0
+				res.pt.acq += r.AcquireUS
+				res.pt.pair += r.PairUS
+				res.ctl = tl.Controller()
+				res.crossed = res.crossed || res.ctl.Switches() > 0
 			}
-			tuned.acq /= tunedSeeds
-			tuned.pair /= tunedSeeds
+		}
+		res.pt.acq /= tunedSeeds
+		res.pt.pair /= tunedSeeds
+		results[i] = res
+	})
+	cellAt := func(mi, pi, ki int) cellResult {
+		base := 0
+		for m := 0; m < mi; m++ {
+			base += len(tunedMachines[m].Procs) * nLocks
+		}
+		return results[base+pi*nLocks+ki]
+	}
+	for mi, mc := range tunedMachines {
+		worstPair, worstAcq := 0.0, 0.0
+		crossoverP := 0
+		var pairRatios []string
+		for pi, p := range mc.Procs {
+			row := []string{mc.Name, fmt.Sprintf("%d", p)}
+			var bestAcq, bestPair float64
+			for ki := range tunedCrossoverKinds {
+				pt := cellAt(mi, pi, ki).pt
+				row = append(row, f1(pt.acq))
+				if bestAcq == 0 || pt.acq < bestAcq {
+					bestAcq = pt.acq
+				}
+				if bestPair == 0 || pt.pair < bestPair {
+					bestPair = pt.pair
+				}
+			}
+			tc := cellAt(mi, pi, len(tunedCrossoverKinds))
+			tuned, crossed, ctl := tc.pt, tc.crossed, tc.ctl
 			row = append(row, f1(tuned.acq), f1(tuned.pair),
 				fmt.Sprintf("%.0f", ctl.BackoffCap().Microseconds()), ctl.Mode().String())
 			t.AddRow(row...)

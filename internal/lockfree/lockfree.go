@@ -91,20 +91,23 @@ type CompareResult struct {
 }
 
 // Compare measures mean time per increment for nprocs processors hammering
-// one counter under each strategy on a CAS-capable HECTOR.
+// one counter under each strategy on a CAS-capable HECTOR. Each strategy
+// gets a fresh machine; setup builds the strategy's increment body against
+// it (lock construction is free in simulated time — it models static kernel
+// data placement).
 func Compare(seed uint64, nprocs, rounds int) CompareResult {
-	run := func(inc func(p *sim.Proc, l locks.Lock, c *Counter, plain sim.Addr)) float64 {
+	run := func(setup func(m *sim.Machine, c *Counter, plain sim.Addr) func(*sim.Proc)) float64 {
 		m := sim.NewMachine(sim.Config{Seed: seed, HasCAS: true})
 		c := NewCounter(m, 0)
 		plain := m.Mem.Alloc(0, 1)
-		l := locks.New(m, locks.KindH2MCS, 0)
+		inc := setup(m, c, plain)
 		var total sim.Time
 		ops := 0
 		for i := 0; i < nprocs; i++ {
 			m.Go(i, func(p *sim.Proc) {
 				for r := 0; r < rounds; r++ {
 					t0 := p.Now()
-					inc(p, l, c, plain)
+					inc(p)
 					total += p.Now() - t0
 					ops++
 					p.Think(p.RNG().Duration(100))
@@ -116,33 +119,27 @@ func Compare(seed uint64, nprocs, rounds int) CompareResult {
 		return total.Microseconds() / float64(ops)
 	}
 	res := CompareResult{}
-	res.LockFreeUS = run(func(p *sim.Proc, l locks.Lock, c *Counter, plain sim.Addr) {
-		c.Add(p, 1)
+	res.LockFreeUS = run(func(m *sim.Machine, c *Counter, plain sim.Addr) func(*sim.Proc) {
+		return func(p *sim.Proc) { c.Add(p, 1) }
 	})
-	res.SpinUS = run(func(p *sim.Proc, l locks.Lock, c *Counter, plain sim.Addr) {
+	res.SpinUS = run(func(m *sim.Machine, c *Counter, plain sim.Addr) func(*sim.Proc) {
 		// Spin lock + plain read-modify-write.
-		sl := spinOf(p)
-		sl.Acquire(p)
-		v := p.Load(plain)
-		p.Store(plain, v+1)
-		sl.Release(p)
+		sl := locks.NewSpin(m, 0, sim.Micros(35))
+		return func(p *sim.Proc) {
+			sl.Acquire(p)
+			v := p.Load(plain)
+			p.Store(plain, v+1)
+			sl.Release(p)
+		}
 	})
-	res.MCSUS = run(func(p *sim.Proc, l locks.Lock, c *Counter, plain sim.Addr) {
-		l.Acquire(p)
-		v := p.Load(plain)
-		p.Store(plain, v+1)
-		l.Release(p)
+	res.MCSUS = run(func(m *sim.Machine, c *Counter, plain sim.Addr) func(*sim.Proc) {
+		l := locks.New(m, locks.KindH2MCS, 0)
+		return func(p *sim.Proc) {
+			l.Acquire(p)
+			v := p.Load(plain)
+			p.Store(plain, v+1)
+			l.Release(p)
+		}
 	})
 	return res
-}
-
-// spinOf caches one spin lock per machine in proc scratch space.
-func spinOf(p *sim.Proc) *locks.Spin {
-	const key = "lockfree-spin"
-	if l, ok := p.Machine().Procs[0].Scratch[key]; ok {
-		return l.(*locks.Spin)
-	}
-	l := locks.NewSpin(p.Machine(), 0, sim.Micros(35))
-	p.Machine().Procs[0].Scratch[key] = l
-	return l
 }

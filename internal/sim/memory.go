@@ -76,7 +76,13 @@ type Memory struct {
 	ring    Resource
 
 	data     [][]uint64
-	watchers map[Addr][]*Proc
+	watchers map[Addr]watchList
+}
+
+// watchList is an intrusive FIFO of processors sleeping on a write-watch,
+// linked through Proc.watchNext so registering a watcher never allocates.
+type watchList struct {
+	head, tail *Proc
 }
 
 // newMemory builds the memory system for nStations*procsPerStation
@@ -90,7 +96,7 @@ func newMemory(eng *Engine, nStations, procsPerStation int, lat Latency) *Memory
 		modules:         make([]Resource, n),
 		buses:           make([]Resource, nStations),
 		data:            make([][]uint64, n),
-		watchers:        make(map[Addr][]*Proc),
+		watchers:        make(map[Addr]watchList),
 	}
 	for i := range m.modules {
 		m.modules[i].Name = fmt.Sprintf("module%d", i)
@@ -267,34 +273,65 @@ func (m *Memory) access(p *Proc, a Addr, kind accessKind, operand, expect uint64
 	return old, done, ok
 }
 
-// watch registers p to be woken when the word at a is next written.
+// watch registers p to be woken when the word at a is next written. p must
+// not already be watching (WaitLocal's unwatch-after-park discipline
+// guarantees this — a double insert would corrupt the intrusive list).
 func (m *Memory) watch(a Addr, p *Proc) {
-	m.watchers[a] = append(m.watchers[a], p)
+	p.watching = true
+	p.watchNext = nil
+	l := m.watchers[a]
+	if l.tail == nil {
+		l.head, l.tail = p, p
+	} else {
+		l.tail.watchNext = p
+		l.tail = p
+	}
+	m.watchers[a] = l
 }
 
-// unwatch removes p from the watcher list of a.
+// unwatch removes p from the watcher list of a. A write-wake already
+// cleared the whole list, so this only walks when p was unparked some other
+// way (an IRQ) while its watch was still registered.
 func (m *Memory) unwatch(a Addr, p *Proc) {
-	ws := m.watchers[a]
-	for i, q := range ws {
-		if q == p {
-			ws = append(ws[:i], ws[i+1:]...)
-			break
-		}
+	if !p.watching {
+		return
 	}
-	if len(ws) == 0 {
+	p.watching = false
+	l := m.watchers[a]
+	var prev *Proc
+	for q := l.head; q != nil; prev, q = q, q.watchNext {
+		if q != p {
+			continue
+		}
+		if prev == nil {
+			l.head = q.watchNext
+		} else {
+			prev.watchNext = q.watchNext
+		}
+		if l.tail == q {
+			l.tail = prev
+		}
+		q.watchNext = nil
+		break
+	}
+	if l.head == nil {
 		delete(m.watchers, a)
 	} else {
-		m.watchers[a] = ws
+		m.watchers[a] = l
 	}
 }
 
 func (m *Memory) wakeWatchers(a Addr, at Time) {
-	ws := m.watchers[a]
-	if len(ws) == 0 {
+	l, ok := m.watchers[a]
+	if !ok {
 		return
 	}
 	delete(m.watchers, a)
-	for _, p := range ws {
+	for p := l.head; p != nil; {
+		next := p.watchNext
+		p.watchNext = nil
+		p.watching = false
 		p.unparkAt(at)
+		p = next
 	}
 }

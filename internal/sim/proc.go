@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"iter"
+)
 
 // IRQHandler is code run by a processor when it takes an inter-processor
 // interrupt. It executes inline on the interrupted processor with further
@@ -33,7 +36,9 @@ type procKilled struct{}
 // Proc is a simulated processor: a coroutine that executes an instruction
 // stream against the simulated memory system. Exactly one Proc (or the
 // engine) runs at any real-time instant, so simulated code needs no Go-level
-// synchronization.
+// synchronization. The coroutine is an iter.Pull pair: suspending and
+// resuming a processor is a direct coroutine switch with no scheduler,
+// channel, or lock involvement.
 type Proc struct {
 	id     int
 	module int
@@ -42,23 +47,25 @@ type Proc struct {
 	mach   *Machine
 	rng    *RNG
 
-	resume chan struct{}
-	yield  chan struct{}
+	next    func() (struct{}, bool) // resume the coroutine (engine side)
+	stop    func()                  // unwind the coroutine (engine side)
+	yieldFn func(struct{}) bool     // suspend the coroutine (proc side)
 
 	started  bool
 	finished bool
 	parked   bool
 	killed   bool
 
+	// watchNext/watching link the processor into a Memory watch list while
+	// it sleeps on a write-watch (see Memory.watch).
+	watchNext *Proc
+	watching  bool
+
 	irqEnabled bool
 	inISR      bool
 	pendingIRQ []IRQHandler
 
 	counters InstrCounters
-
-	// Scratch is free space for experiment code to hang per-processor
-	// state on (e.g. per-processor queue nodes indexed by lock).
-	Scratch map[interface{}]interface{}
 }
 
 func newProc(id int, mach *Machine) *Proc {
@@ -69,10 +76,7 @@ func newProc(id int, mach *Machine) *Proc {
 		mem:        mach.Mem,
 		mach:       mach,
 		rng:        NewRNG(mach.cfg.Seed*0x9e3779b9 + uint64(id)*0x7f4a7c15 + 1),
-		resume:     make(chan struct{}),
-		yield:      make(chan struct{}),
 		irqEnabled: true,
-		Scratch:    make(map[interface{}]interface{}),
 	}
 }
 
@@ -94,54 +98,57 @@ func (p *Proc) Machine() *Machine { return p.mach }
 // Counters returns the instruction counters accumulated so far.
 func (p *Proc) Counters() InstrCounters { return p.counters }
 
-// start launches the processor's program. Must be called from engine (event)
-// context.
+// start launches the processor's program as a pull-style coroutine and runs
+// it to its first blocking point (or completion) inline. Must be called from
+// engine (event) context. A panic in the program propagates out of the
+// resuming next() call — i.e. into engine context — except for the internal
+// procKilled unwind, which is swallowed so kill() can reap parked
+// processors silently.
 func (p *Proc) start(program func(*Proc)) {
 	if p.started {
 		panic(fmt.Sprintf("sim: proc %d started twice", p.id))
 	}
 	p.started = true
-	go func() {
+	p.next, p.stop = iter.Pull(func(yield func(struct{}) bool) {
+		p.yieldFn = yield
 		defer func() {
 			if r := recover(); r != nil {
 				if _, isKill := r.(procKilled); !isKill {
-					// Re-panic in engine context would deadlock the
-					// handshake; surface the original panic instead.
-					p.finished = true
-					p.yield <- struct{}{}
 					panic(r)
 				}
 			}
-			if !p.finished {
-				p.finished = true
-				p.yield <- struct{}{}
-			}
 		}()
-		<-p.resume
-		if p.killed {
-			panic(procKilled{})
-		}
 		program(p)
-		p.finished = true
-		p.yield <- struct{}{}
-	}()
-	p.resume <- struct{}{}
-	<-p.yield
+	})
+	p.wakeEvent()
 }
 
-// wakeEvent resumes the coroutine from engine context and waits for it to
-// block again or finish.
+// wakeEvent resumes the coroutine from engine context; it returns when the
+// processor blocks again or finishes.
 func (p *Proc) wakeEvent() {
 	if p.finished {
 		return
 	}
-	p.resume <- struct{}{}
-	<-p.yield
+	if _, ok := p.next(); !ok {
+		p.finished = true
+	}
 }
 
-// sleepUntil blocks the processor until simulated time t.
+// block suspends the processor until the engine resumes it.
+func (p *Proc) block() {
+	if !p.yieldFn(struct{}{}) || p.killed {
+		panic(procKilled{})
+	}
+}
+
+// sleepUntil advances the processor to simulated time t. When nothing else
+// can run before t the engine elides the wake-up entirely (see
+// Engine.sleepOrElide) and this is just a clock bump; otherwise the
+// processor blocks on a scheduled wake event.
 func (p *Proc) sleepUntil(t Time) {
-	p.eng.At(t, p.wakeEvent)
+	if p.eng.sleepOrElide(t, p) {
+		return
+	}
 	p.block()
 }
 
@@ -157,14 +164,6 @@ func (p *Proc) park() {
 	p.block()
 }
 
-func (p *Proc) block() {
-	p.yield <- struct{}{}
-	<-p.resume
-	if p.killed {
-		panic(procKilled{})
-	}
-}
-
 // unparkAt schedules the processor to resume at time t if it is parked.
 // Safe to call from any proc or engine context.
 func (p *Proc) unparkAt(t Time) {
@@ -176,11 +175,11 @@ func (p *Proc) unparkAt(t Time) {
 		p.eng.tracer.Event(TraceEvent{Kind: EvUnpark, Name: "unpark", Proc: p.id,
 			Start: t, End: t, Src: -1, Dst: -1})
 	}
-	p.eng.At(t, p.wakeEvent)
+	p.eng.atProc(t, p)
 }
 
-// kill marks the processor for termination; the next time it would run it
-// unwinds instead. Must only be used when the processor is parked (idle).
+// kill marks the processor for termination; its coroutine unwinds
+// immediately. Must only be used when the processor is parked (idle).
 func (p *Proc) kill() {
 	if p.finished || !p.started {
 		p.finished = true
@@ -191,8 +190,8 @@ func (p *Proc) kill() {
 	}
 	p.killed = true
 	p.parked = false
-	p.resume <- struct{}{}
-	<-p.yield
+	p.stop()
+	p.finished = true
 }
 
 // --- Instruction stream API ---
@@ -282,6 +281,9 @@ func (p *Proc) WaitLocal(a Addr, pred func(uint64) bool) uint64 {
 		}
 		p.mem.watch(a, p)
 		p.park()
+		// A write-wake cleared the watch; an IRQ unpark did not — drop the
+		// stale registration before it can alias the next watch.
+		p.mem.unwatch(a, p)
 		p.checkIRQ()
 	}
 }
