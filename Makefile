@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-wall results bench-diff bench-baseline jobs-equiv profile
+.PHONY: ci vet build test race bench bench-wall results bench-diff bench-baseline jobs-equiv trace-smoke profile
 
-ci: vet build test race bench-diff jobs-equiv
+ci: vet build test race bench-diff jobs-equiv trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -50,6 +50,17 @@ jobs-equiv:
 	$(GO) run ./cmd/hurricane-bench -quick -jobs 8 -json /tmp/hurricane_jobs8.json > /dev/null
 	cmp /tmp/hurricane_jobs1.json /tmp/hurricane_jobs8.json
 	@echo "jobs-equiv: -jobs 1 and -jobs 8 summaries are byte-identical"
+
+# End-to-end check of the span pipeline: trace a tiny kernel workload,
+# feed the trace through traceanal, and require a non-empty placement
+# report (both the data and lock sections must render).
+trace-smoke:
+	$(GO) run ./cmd/clustersim -size 16 -procs 8 -rounds 5 -trace /tmp/hurricane_smoke.json > /dev/null
+	$(GO) run ./cmd/traceanal /tmp/hurricane_smoke.json > /tmp/hurricane_smoke.txt
+	grep -q "data placement" /tmp/hurricane_smoke.txt
+	grep -q "lock placement" /tmp/hurricane_smoke.txt
+	grep -q "span vm.fault" /tmp/hurricane_smoke.txt
+	@echo "trace-smoke: traced kernel run produced a placement report"
 
 # Refresh the checked-in baseline after an intentional performance change
 # (commit the result and explain the shift in the PR).

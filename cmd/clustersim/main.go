@@ -14,6 +14,7 @@ import (
 	"hurricane/internal/core"
 	"hurricane/internal/locks"
 	"hurricane/internal/sim"
+	"hurricane/internal/trace"
 	"hurricane/internal/workload"
 )
 
@@ -37,16 +38,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown lock %q\n", *kind)
 		os.Exit(2)
 	}
+	var tracer *trace.Chrome
+	var t sim.Tracer
+	if *tracePath != "" {
+		tracer = trace.NewChrome()
+		t = tracer
+	}
 	sys := core.NewSystem(core.Config{
 		Machine:     sim.Config{Seed: *seed},
 		ClusterSize: *size,
 		LockKind:    lk,
+		Tracer:      t,
 	})
-
-	var tracer *sim.ChromeTracer
-	if *tracePath != "" {
-		tracer = sim.NewChromeTracer()
-		sys.M.SetTracer(tracer)
+	if tracer != nil {
+		tracer.SetMachine(sys.M)
+		// Wrap each cluster's memory-manager lock with telemetry so the
+		// trace carries named lock wait/hold spans (zero simulated cost).
+		for c := 0; c < sys.K.Topo.N; c++ {
+			sys.K.VM.SetMMLock(c, locks.NewStats(sys.M, sys.K.VM.MMLock(c)))
+		}
 	}
 
 	var res workload.FaultResult

@@ -100,6 +100,8 @@ func main() {
 		{"fig7c", func() *exp.Table { return exp.Figure7c(*seed, rounds(30, 8)) }},
 		{"fig7d", func() *exp.Table { return exp.Figure7d(*seed, 4, rounds(10, 3)) }},
 		{"utilization", func() *exp.Table { return exp.LockUtilization(*seed, rounds(120, 30)) }},
+		{"utilization64", func() *exp.Table { return exp.LockUtilization64(*seed, rounds(40, 10)) }},
+		{"placement", func() *exp.Table { return exp.Placement(*seed, rounds(30, 8)) }},
 		{"calibration", func() *exp.Table { return exp.Calibration(*seed) }},
 		{"trylock", func() *exp.Table { return exp.TryLockFairness(*seed, rounds(60, 20)) }},
 		{"protocols", func() *exp.Table { return exp.Protocols(*seed) }},

@@ -28,6 +28,7 @@ import (
 	"hurricane/internal/locks"
 	"hurricane/internal/machine"
 	"hurricane/internal/sim"
+	"hurricane/internal/trace"
 	"hurricane/internal/tune"
 	"hurricane/internal/workload"
 )
@@ -89,10 +90,10 @@ func main() {
 	fmt.Printf("%s: uncontended pair %.2fus (atomic/mem/reg/br = %d/%d/%d/%d)\n\n",
 		kind, us, counts.Atomic, counts.Mem, counts.Reg, counts.Branch)
 
-	var tracer *sim.ChromeTracer
+	var tracer *trace.Chrome
 	var t sim.Tracer
 	if *tracePath != "" {
-		tracer = sim.NewChromeTracer()
+		tracer = trace.NewChrome()
 		t = tracer
 	}
 
@@ -115,6 +116,9 @@ func main() {
 		}
 	}
 	r := workload.LockStressRun(cfg)
+	if tracer != nil {
+		tracer.SetMachine(r.M)
+	}
 	d := r.AcquireDist
 	fmt.Printf("%d procs x %d rounds (+%d warm-up), hold %gus:\n", *procs, *rounds, *warmup, *holdUS)
 	fmt.Printf("  acquire latency (us): mean %.1f  p50 %.1f  p95 %.1f  p99 %.1f  max %.0f\n",

@@ -119,18 +119,34 @@ func (r *RPC) Gate() *Gate { return r.gate }
 // briefly.
 func (r *RPC) Call(p *sim.Proc, targetCluster int, fn func(h *sim.Proc) Status) Status {
 	r.Calls++
+	m := r.topo.M
 	target := r.topo.Peer(p.ID(), targetCluster)
+	traced := m.Tracing()
 	if target == p.ID() {
 		// Local-cluster call degenerates to a direct invocation.
-		return fn(p)
+		if !traced {
+			return fn(p)
+		}
+		c0 := p.Now()
+		st := fn(p)
+		m.EmitSpan(sim.SpanRPC, "rpc call", p.ID(), c0, p.Now(), p.ID(), uint64(targetCluster))
+		return st
 	}
-	reply := r.topo.M.Alloc(p.ID(), 1) // completion word in caller-local memory
+	c0 := p.Now()
+	caller := p.ID()
+	reply := m.Alloc(p.ID(), 1) // completion word in caller-local memory
 	p.Think(r.CallerOverhead)
-	r.topo.M.SendIPI(target, func(h *sim.Proc) {
+	m.SendIPI(target, func(h *sim.Proc) {
 		run := func(h *sim.Proc) {
+			h0 := h.Now()
 			h.Think(r.HandlerOverhead)
 			st := fn(h)
 			h.Store(reply, uint64(st)<<1|1)
+			if traced {
+				// Handler-side span: the interrupt-context service time,
+				// pointed back at the caller whose reply word it stores.
+				m.EmitSpan(sim.SpanIPI, "rpc serve", h.ID(), h0, h.Now(), caller, uint64(targetCluster))
+			}
 		}
 		if r.gate != nil {
 			r.gate.Dispatch(h, run)
@@ -142,6 +158,9 @@ func (r *RPC) Call(p *sim.Proc, targetCluster int, fn func(h *sim.Proc) Status) 
 	st := Status(v >> 1)
 	if st == StatusRetry {
 		r.Retries++
+	}
+	if traced {
+		m.EmitSpan(sim.SpanRPC, "rpc call", caller, c0, p.Now(), target, uint64(targetCluster))
 	}
 	return st
 }

@@ -41,6 +41,11 @@ type Config struct {
 	Protocol kernel.Protocol
 	// Buckets sizes the kernel hash tables.
 	Buckets int
+	// SlotModule overrides kernel data placement (see kernel.Config).
+	SlotModule func(c, slot, def int) int
+	// Tracer, when non-nil, is installed on the machine before the kernel
+	// allocates anything, so a trace covers the system's whole lifetime.
+	Tracer sim.Tracer
 }
 
 // System is an assembled machine + kernel.
@@ -57,11 +62,15 @@ func NewSystem(cfg Config) *System {
 		cfg.Machine.Seed = 1
 	}
 	m := sim.NewMachine(cfg.Machine)
+	if cfg.Tracer != nil {
+		m.SetTracer(cfg.Tracer)
+	}
 	k := kernel.New(m, kernel.Config{
 		ClusterSize: cfg.ClusterSize,
 		LockKind:    cfg.LockKind,
 		Protocol:    cfg.Protocol,
 		Buckets:     cfg.Buckets,
+		SlotModule:  cfg.SlotModule,
 	})
 	return &System{M: m, K: k, busy: make(map[int]bool)}
 }

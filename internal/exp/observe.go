@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hurricane/internal/locks"
+	"hurricane/internal/machine"
 	"hurricane/internal/sim"
 	"hurricane/internal/workload"
 )
@@ -65,3 +66,96 @@ func LockUtilization(seed uint64, rounds int) *Table {
 }
 
 func pct(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }
+
+// saturationUtil is the home-module utilization past which the module is
+// effectively saturated: the holder's own critical-section accesses queue
+// behind spinner traffic and hold times inflate.
+const saturationUtil = 0.90
+
+// LockUtilization64 sweeps processor count on both machine configurations
+// and reports the spin lock's home-module saturation crossover — the
+// smallest p at which the home module exceeds 90% busy — next to H2-MCS,
+// which never saturates it. The station size differs between the machines
+// (4 processors/station on HECTOR, 8 on NUMAchine), so the sweep answers
+// whether the crossover is a property of station size or of the sheer
+// number of remote spinners.
+func LockUtilization64(seed uint64, rounds int) *Table {
+	t := &Table{
+		Title: "Home-module saturation vs machine scale (hold=25us, windowed)",
+		Cols:  []string{"machine", "lock", "p", "acquire_us", "home_util", "ring_util"},
+	}
+	type mc struct {
+		name string
+		cfg  func(seed uint64) sim.Config
+		ps   []int
+	}
+	machines := []mc{
+		{"hector16", machine.Hector16, []int{4, 8, 16}},
+		{"numachine64", machine.NUMAchine64, []int{4, 8, 16, 32, 64}},
+	}
+	kinds := []locks.Kind{locks.KindSpin, locks.KindH2MCS}
+
+	type cell struct {
+		m    mc
+		kind locks.Kind
+		p    int
+	}
+	var cells []cell
+	for _, m := range machines {
+		for _, k := range kinds {
+			for _, p := range m.ps {
+				cells = append(cells, cell{m, k, p})
+			}
+		}
+	}
+	runs := make([]*workload.LockStressObserved, len(cells))
+	RunParallel(len(cells), func(i int) {
+		c := cells[i]
+		runs[i] = workload.LockStressRun(workload.StressConfig{
+			Machine: c.m.cfg(seed),
+			Kind:    c.kind,
+			Procs:   c.p,
+			Rounds:  rounds,
+			Warmup:  rounds/4 + 1,
+			Hold:    sim.Micros(25),
+		})
+	})
+
+	crossover := map[string]int{}
+	for i, c := range cells {
+		r := runs[i]
+		var home, ring float64
+		for j, ru := range r.Resources {
+			switch {
+			case j == r.HomeModule:
+				home = ru.Utilization
+			case ru.Name == "ring":
+				ring = ru.Utilization
+			}
+		}
+		t.AddRow(c.m.name, c.kind.String(), fmt.Sprintf("%d", c.p),
+			f1(r.Lock.AcquireUS.Mean()), pct(home), pct(ring))
+		t.AddMetric(fmt.Sprintf("%s.%s.p%d.home_module_util", c.m.name, c.kind, c.p), home, "frac")
+		t.AddMetric(fmt.Sprintf("%s.%s.p%d.acquire_mean", c.m.name, c.kind, c.p), r.Lock.AcquireUS.Mean(), "us")
+		if c.kind == locks.KindSpin && home >= saturationUtil {
+			if _, seen := crossover[c.m.name]; !seen {
+				crossover[c.m.name] = c.p
+			}
+		}
+	}
+	for _, m := range machines {
+		p, ok := crossover[m.name]
+		if !ok {
+			t.Note("%s: spin never saturated the home module in this sweep", m.name)
+			continue
+		}
+		t.AddMetric(fmt.Sprintf("%s.spin.saturation_crossover_p", m.name), float64(p), "procs")
+		st := m.cfg(seed).ProcsPerStation
+		if st == 0 {
+			st = 4
+		}
+		t.Note("%s (%d procs/station): spin saturates the home module (>%.0f%%) from p=%d",
+			m.name, st, saturationUtil*100, p)
+	}
+	return t
+}

@@ -1,0 +1,119 @@
+package exp
+
+import (
+	"fmt"
+
+	"hurricane/internal/core"
+	"hurricane/internal/locks"
+	"hurricane/internal/sim"
+	"hurricane/internal/trace"
+	"hurricane/internal/trace/placement"
+	"hurricane/internal/workload"
+)
+
+// Placement closes the loop the trace pipeline exists for: trace a
+// Figure-7-style fault workload, feed the aggregated access matrix to the
+// placement analyzer, then replay the identical workload with the proposed
+// kernel-data homes applied (via kernel.Config.SlotModule) and measure what
+// actually changed.
+//
+// The workload concentrates 4 faulting processes in station 0 of the
+// 16-processor HECTOR while the single cluster's kernel data is striped
+// across modules 0/4/8/12 (the topology's default), so three of the four
+// slots are pure cross-ring traffic the analyzer should pull toward the
+// faulters. Both runs are traced and telemetry-wrapped identically, so the
+// comparison isolates the placement change.
+func Placement(seed uint64, rounds int) *Table {
+	t := &Table{
+		Title: "Trace-guided placement: 4 faulters in station 0, kernel data re-homed by the analyzer",
+		Cols: []string{"run", "fault_us", "mm_acq_us", "ring_acc%", "ring_accesses",
+			"ring_handoffs", "rpc_ring%"},
+	}
+	topo := placement.Topo{Stations: 4, ProcsPerStation: 4}
+
+	type phase struct {
+		agg     *trace.Aggregate
+		mm      *locks.Stats
+		faultUS float64
+	}
+	run := func(moves map[int]int) phase {
+		var ph phase
+		ph.agg = trace.NewAggregate(topo.Modules())
+		cfg := core.Config{
+			Machine:     sim.Config{Seed: seed},
+			ClusterSize: 16,
+			LockKind:    locks.KindH2MCS,
+			Tracer:      ph.agg,
+		}
+		if moves != nil {
+			cfg.SlotModule = func(c, slot, def int) int {
+				if to, ok := moves[def]; ok {
+					return to
+				}
+				return def
+			}
+		}
+		sys := core.NewSystem(cfg)
+		ph.mm = locks.NewStats(sys.M, sys.K.VM.MMLock(0))
+		sys.K.VM.SetMMLock(0, ph.mm)
+		res := workload.IndependentFaults(sys, 4, 4, rounds)
+		ph.faultUS = res.Dist.Mean()
+		return ph
+	}
+
+	// Phase A: trace the default placement (doubling as the baseline run —
+	// tracing and telemetry charge no simulated time).
+	base := run(nil)
+	rep := placement.Analyze(base.agg, topo, placement.DefaultCosts())
+	moves := rep.Moves()
+
+	// Phase B: replay with the proposed homes.
+	placed := run(moves)
+
+	row := func(name string, ph phase) (ringAcc uint64) {
+		total := ph.agg.AccessByDist[0] + ph.agg.AccessByDist[1] + ph.agg.AccessByDist[2]
+		ringAcc = ph.agg.AccessByDist[sim.DistRing]
+		ringPct := 0.0
+		if total > 0 {
+			ringPct = 100 * float64(ringAcc) / float64(total)
+		}
+		rpcObj := uint64(0)
+		rpcRing := uint64(0)
+		for _, o := range ph.agg.SortedObjects() {
+			if o.Span == sim.SpanRPC {
+				rpcObj += o.Count
+				rpcRing += o.ByDist[sim.DistRing]
+			}
+		}
+		rpcPct := 0.0
+		if rpcObj > 0 {
+			rpcPct = 100 * float64(rpcRing) / float64(rpcObj)
+		}
+		t.AddRow(name, f1(ph.faultUS), f1(ph.mm.AcquireUS.Mean()), f1(ringPct),
+			d(ringAcc), d(ph.mm.Handoffs[sim.DistRing]), f1(rpcPct))
+		t.AddMetric(fmt.Sprintf("%s.fault_mean", name), ph.faultUS, "us")
+		t.AddMetric(fmt.Sprintf("%s.mm_acquire_mean", name), ph.mm.AcquireUS.Mean(), "us")
+		t.AddMetric(fmt.Sprintf("%s.ring_accesses", name), float64(ringAcc), "count")
+		t.AddMetric(fmt.Sprintf("%s.ring_handoffs", name), float64(ph.mm.Handoffs[sim.DistRing]), "count")
+		return ringAcc
+	}
+	ringBase := row("baseline", base)
+	ringPlaced := row("placed", placed)
+
+	nmoves := len(moves)
+	reduction := 0.0
+	if ringBase > 0 {
+		reduction = 1 - float64(ringPlaced)/float64(ringBase)
+	}
+	t.AddMetric("placement.moves", float64(nmoves), "count")
+	t.AddMetric("placement.ring_access_reduction", reduction, "frac")
+	t.Note("analyzer proposed %d data moves; cross-ring accesses %d -> %d (-%.0f%%), fault mean %.1f -> %.1fus",
+		nmoves, ringBase, ringPlaced, 100*reduction, base.faultUS, placed.faultUS)
+	for _, p := range rep.Data {
+		if p.Moved() {
+			t.Note("  %s: module %d -> %d (projected cost -%.0f%%)",
+				p.Object, p.Home, p.Proposed, 100*(p.CurCost-p.NewCost)/p.CurCost)
+		}
+	}
+	return t
+}

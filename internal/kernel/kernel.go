@@ -47,6 +47,11 @@ type Config struct {
 	Protocol Protocol
 	// Buckets sizes the kernel hash tables (default 64).
 	Buckets int
+	// SlotModule, when non-nil, overrides where cluster c's kernel data
+	// slot lives: it receives the cluster, the slot and the topology's
+	// default module and returns the module to use. Trace-guided placement
+	// replays feed analyzer-proposed moves through this hook.
+	SlotModule func(c, slot, def int) int
 }
 
 // Stats aggregates kernel-wide event counters.

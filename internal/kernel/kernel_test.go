@@ -443,6 +443,7 @@ type timedLock struct {
 func (l *timedLock) Acquire(p *sim.Proc) { l.inner.Acquire(p); l.n++ }
 func (l *timedLock) Release(p *sim.Proc) { l.inner.Release(p) }
 func (l *timedLock) Name() string        { return l.inner.Name() }
+func (l *timedLock) Home() int           { return l.inner.Home() }
 
 func TestMMLockInstrumentationHook(t *testing.T) {
 	k := newKernel(30, 16, Optimistic)

@@ -89,7 +89,7 @@ func newVM(k *Kernel) *VM {
 		ptes: make(map[uint64]map[int]sim.Addr),
 	}
 	v.mmLocks = make([]locks.Lock, k.Topo.N)
-	mmModule := func(c int) int { return k.Topo.SlotModule(c, 0) }
+	mmModule := func(c int) int { return v.slotModule(c, 0) }
 	for c := 0; c < k.Topo.N; c++ {
 		v.mmLocks[c] = locks.New(k.M, k.cfg.LockKind, mmModule(c))
 	}
@@ -100,11 +100,11 @@ func newVM(k *Kernel) *VM {
 	v.aspaces = make([]*hybrid.Table, k.Topo.N)
 	v.scratch = make([][]sim.Addr, k.Topo.N)
 	for c := 0; c < k.Topo.N; c++ {
-		module := k.Topo.SlotModule(c, 3)
+		module := v.slotModule(c, 3)
 		v.aspaces[c] = hybrid.New(k.M, module, k.cfg.Buckets, 1, k.cfg.LockKind)
 		v.aspaces[c].Guard = k.Gate
 		for s := 0; s < 4; s++ {
-			m := k.Topo.SlotModule(c, s)
+			m := v.slotModule(c, s)
 			v.scratch[c] = append(v.scratch[c], k.M.Alloc(m, 4))
 		}
 	}
@@ -117,6 +117,17 @@ func newVM(k *Kernel) *VM {
 	v.fcbs.SetGuard(k.Gate)
 	v.pages.SetGuard(k.Gate)
 	return v
+}
+
+// slotModule resolves where cluster c's kernel-data slot lives, applying
+// the Config.SlotModule placement override (trace-guided replays) over the
+// topology's default.
+func (v *VM) slotModule(c, slot int) int {
+	def := v.k.Topo.SlotModule(c, slot)
+	if f := v.k.cfg.SlotModule; f != nil {
+		return f(c, slot, def)
+	}
+	return def
 }
 
 // Pages exposes the page-descriptor table (experiments read its counters).
@@ -201,7 +212,7 @@ func (v *VM) ensureAS(p *sim.Proc, pid uint64) (asK, hatK uint64) {
 	// the address-space pointer (the equivalent of a per-processor cached
 	// reference).
 	if t.PeekSearch(asK) == 0 {
-		module := v.k.Topo.SlotModule(c, 3)
+		module := v.slotModule(c, 3)
 		e := t.NewEntry(p, module, asK)
 		t.Insert(p, e) // a racing insert loses harmlessly
 		e2 := t.NewEntry(p, module, hatK)
@@ -229,6 +240,17 @@ type FaultResult struct {
 func (v *VM) Fault(p *sim.Proc, pid uint64, regionKey, vpn uint64, write bool) (FaultResult, error) {
 	v.k.checkKey(regionKey, classRegion)
 	var res FaultResult
+	traced := v.k.M.Tracing()
+	if traced {
+		// The whole-fault span covers trap entry through trap exit, on every
+		// return path; the dst is the cluster's memory-manager home module,
+		// the data the fault path contends for.
+		f0 := p.Now()
+		defer func() {
+			home := v.mmLocks[v.k.Topo.ClusterOf(p.ID())].Home()
+			v.k.M.EmitSpan(sim.SpanFault, "fault", p.ID(), f0, p.Now(), home, regionKey)
+		}()
+	}
 	p.Think(costTrapEntry)
 
 	// The faulting process's address-space state is processor-local after
@@ -262,9 +284,12 @@ func (v *VM) Fault(p *sim.Proc, pid uint64, regionKey, vpn uint64, write bool) (
 	mm := v.mmLocks[c]
 	for {
 		state := fastOK
+		var tAcq, tReg, tFCB, tPage sim.Time
 		v.k.Gate.Enter(p)
 		mm.Acquire(p)
+		tAcq = p.Now()
 		re := v.regions.Table(c).SearchLocked(p, regionKey)
+		tReg = p.Now()
 		switch {
 		case re == 0:
 			state = fastRegionMiss
@@ -274,6 +299,7 @@ func (v *VM) Fault(p *sim.Proc, pid uint64, regionKey, vpn uint64, write bool) (
 			fileKey = p.Load(re + hybrid.EntData + rgFile)
 			baseKey = p.Load(re + hybrid.EntData + rgBase)
 			fe := v.fcbs.Table(c).SearchLocked(p, fileKey+vpn)
+			tFCB = p.Now()
 			switch {
 			case fe == 0:
 				state = fastFCBMiss
@@ -287,10 +313,25 @@ func (v *VM) Fault(p *sim.Proc, pid uint64, regionKey, vpn uint64, write bool) (
 				} else if !v.pages.Table(c).TryReserveLocked(p, pe, mode) {
 					state = fastPageBusy
 				}
+				tPage = p.Now()
 			}
 		}
 		mm.Release(p)
 		v.k.Gate.Exit(p)
+		if traced {
+			// The fast path's single lock hold decomposes into the three
+			// table sections; spans are emitted after the release so the
+			// emission cannot perturb the hold itself (it costs no simulated
+			// time either way).
+			home := mm.Home()
+			v.k.M.EmitSpan(sim.SpanRegionSection, "region lookup", p.ID(), tAcq, tReg, home, regionKey)
+			if tFCB != 0 {
+				v.k.M.EmitSpan(sim.SpanFCBSection, "fcb lookup", p.ID(), tReg, tFCB, home, fileKey+vpn)
+			}
+			if tPage != 0 {
+				v.k.M.EmitSpan(sim.SpanPageSection, "page lookup", p.ID(), tFCB, tPage, home, pageKey)
+			}
+		}
 
 		if state == fastOK {
 			break
@@ -472,6 +513,13 @@ func (v *VM) cowCopy(p *sim.Proc, pid uint64, pe sim.Addr, pageKey uint64, res *
 // the mapping from the page descriptor.
 func (v *VM) Unmap(p *sim.Proc, pid uint64, regionKey, vpn uint64) error {
 	v.k.checkKey(regionKey, classRegion)
+	if v.k.M.Tracing() {
+		u0 := p.Now()
+		defer func() {
+			home := v.mmLocks[v.k.Topo.ClusterOf(p.ID())].Home()
+			v.k.M.EmitSpan(sim.SpanUnmap, "unmap", p.ID(), u0, p.Now(), home, regionKey)
+		}()
+	}
 	p.Think(costTrapEntry / 2)
 	c := v.k.Topo.ClusterOf(p.ID())
 	mm := v.mmLocks[c]

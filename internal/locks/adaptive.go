@@ -48,6 +48,9 @@ func NewAdaptive(m *sim.Machine, home int) *Adaptive {
 // Name implements Lock.
 func (l *Adaptive) Name() string { return "Adaptive" }
 
+// Home implements Lock.
+func (l *Adaptive) Home() int { return l.word.Module() }
+
 // Word exposes the fast-path word address (for tests).
 func (l *Adaptive) Word() sim.Addr { return l.word }
 

@@ -48,6 +48,9 @@ func NewCLH(m *sim.Machine, home int) *CLH {
 // Name implements Lock.
 func (l *CLH) Name() string { return "CLH" }
 
+// Home implements Lock.
+func (l *CLH) Home() int { return l.lock.Module() }
+
 // Acquire implements Lock.
 func (l *CLH) Acquire(p *sim.Proc) {
 	id := p.ID()

@@ -46,6 +46,10 @@ type Lock interface {
 	Release(p *sim.Proc)
 	// Name identifies the algorithm in reports.
 	Name() string
+	// Home reports the memory module the lock word lives on — the module
+	// remote contenders load, and the unit trace-guided placement reasons
+	// about.
+	Home() int
 }
 
 // TryLocker is a lock supporting a single acquisition attempt, used by

@@ -77,6 +77,9 @@ func NewMCS(m *sim.Machine, home int, v Variant) *MCS {
 // Name implements Lock.
 func (l *MCS) Name() string { return l.variant.String() }
 
+// Home implements Lock.
+func (l *MCS) Home() int { return l.lock.Module() }
+
 // NodeOf exposes the queue node address of processor id (for tests).
 func (l *MCS) NodeOf(id int) sim.Addr { return l.nodes[id] }
 

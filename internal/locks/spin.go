@@ -45,6 +45,9 @@ func NewSpinFull(m *sim.Machine, home int, initial, max sim.Duration) *Spin {
 // Name implements Lock.
 func (l *Spin) Name() string { return l.name }
 
+// Home implements Lock.
+func (l *Spin) Home() int { return l.lock.Module() }
+
 // Word exposes the lock word address (for tests).
 func (l *Spin) Word() sim.Addr { return l.lock }
 

@@ -42,11 +42,15 @@ type Stats struct {
 	holding    int // 0 or 1
 	lastHolder int // module of the previous holder, -1 before any release
 	acquiredAt sim.Time
+	home       int
+	waitName   string
+	holdName   string
 }
 
 // NewStats wraps l with telemetry on machine m.
 func NewStats(m *sim.Machine, l Lock) *Stats {
-	return &Stats{inner: l, m: m, lastHolder: -1}
+	return &Stats{inner: l, m: m, lastHolder: -1, home: l.Home(),
+		waitName: "wait " + l.Name(), holdName: "hold " + l.Name()}
 }
 
 // Inner returns the wrapped lock.
@@ -54,6 +58,20 @@ func (s *Stats) Inner() Lock { return s.inner }
 
 // Name implements Lock.
 func (s *Stats) Name() string { return s.inner.Name() }
+
+// Home implements Lock.
+func (s *Stats) Home() int { return s.home }
+
+// recordHandoff counts the lock transfer to the new holder p by its
+// topological distance from the previous holder. The first acquisition of
+// a window has no previous holder and is not counted, so over a window
+// hand-offs always sum to acquisitions-1. Both acquire paths (Acquire and
+// a successful TryAcquire) funnel through here.
+func (s *Stats) recordHandoff(p *sim.Proc) {
+	if s.lastHolder >= 0 {
+		s.Handoffs[s.m.Mem.Distance(s.lastHolder, p.ID())]++
+	}
+}
 
 // ResetWindow discards accumulated telemetry, e.g. after a warm-up phase.
 // In-progress acquisitions are still tracked (depth counters persist).
@@ -83,12 +101,9 @@ func (s *Stats) Acquire(p *sim.Proc) {
 	now := p.Now()
 	s.Acquisitions++
 	s.AcquireUS.Add((now - t0).Microseconds())
-	if s.lastHolder >= 0 {
-		s.Handoffs[s.m.Mem.Distance(s.lastHolder, p.ID())]++
-	}
+	s.recordHandoff(p)
 	s.acquiredAt = now
-	s.m.Eng.Emit(sim.TraceEvent{Kind: sim.EvSpan, Name: "wait " + s.Name(),
-		Proc: p.ID(), Start: t0, End: now, Src: -1, Dst: -1})
+	s.m.EmitSpan(sim.SpanLockWait, s.waitName, p.ID(), t0, now, s.home, 0)
 }
 
 // Release implements Lock.
@@ -97,8 +112,7 @@ func (s *Stats) Release(p *sim.Proc) {
 	s.HoldUS.Add((now - s.acquiredAt).Microseconds())
 	s.lastHolder = p.ID()
 	s.holding = 0
-	s.m.Eng.Emit(sim.TraceEvent{Kind: sim.EvSpan, Name: "hold " + s.Name(),
-		Proc: p.ID(), Start: s.acquiredAt, End: now, Src: -1, Dst: -1})
+	s.m.EmitSpan(sim.SpanLockHold, s.holdName, p.ID(), s.acquiredAt, now, s.home, 0)
 	s.inner.Release(p)
 }
 
@@ -116,11 +130,8 @@ func (s *Stats) TryAcquire(p *sim.Proc) bool {
 		s.TrySuccesses++
 		s.holding = 1
 		s.Acquisitions++
-		now := p.Now()
-		if s.lastHolder >= 0 {
-			s.Handoffs[s.m.Mem.Distance(s.lastHolder, p.ID())]++
-		}
-		s.acquiredAt = now
+		s.recordHandoff(p)
+		s.acquiredAt = p.Now()
 	}
 	return got
 }

@@ -112,13 +112,20 @@ func TestStatsTryAcquire(t *testing.T) {
 	}
 }
 
-// TestStatsEmitsSpans checks the wrapper emits wait/hold spans when a
-// tracer is installed.
+// spanCollector records span events for assertions.
+type spanCollector struct{ events []sim.TraceEvent }
+
+func (c *spanCollector) Event(ev sim.TraceEvent) { c.events = append(c.events, ev) }
+
+// TestStatsEmitsSpans checks the wrapper emits typed wait/hold spans with
+// the acquirer's module, the lock's home and their distance class filled
+// in — the unified-pipeline contract the placement analyzer depends on.
 func TestStatsEmitsSpans(t *testing.T) {
 	m := sim.NewMachine(sim.Config{Seed: 14})
-	tr := sim.NewChromeTracer()
+	tr := &spanCollector{}
 	m.SetTracer(tr)
-	s := NewStats(m, New(m, KindH2MCS, 0))
+	const home = 12 // cross-ring from proc 0
+	s := NewStats(m, New(m, KindH2MCS, home))
 	m.Go(0, func(p *sim.Proc) {
 		s.Acquire(p)
 		p.Think(sim.Micros(5))
@@ -127,14 +134,20 @@ func TestStatsEmitsSpans(t *testing.T) {
 	m.RunAll()
 	m.Shutdown()
 	var waits, holds int
-	for _, ev := range tr.Events() {
+	for _, ev := range tr.events {
 		if ev.Kind != sim.EvSpan {
 			continue
 		}
-		if strings.HasPrefix(ev.Name, "wait ") {
-			waits++
+		if ev.Src != 0 || ev.Dst != home || ev.Dist != sim.DistRing {
+			t.Errorf("span %q src/dst/dist = %d/%d/%v, want 0/%d/ring", ev.Name, ev.Src, ev.Dst, ev.Dist, home)
 		}
-		if strings.HasPrefix(ev.Name, "hold ") {
+		switch ev.Span {
+		case sim.SpanLockWait:
+			waits++
+			if !strings.HasPrefix(ev.Name, "wait ") {
+				t.Errorf("wait span named %q", ev.Name)
+			}
+		case sim.SpanLockHold:
 			holds++
 			if got := (ev.End - ev.Start).Microseconds(); got < 5 {
 				t.Errorf("hold span %.2fus < the 5us critical section", got)
@@ -143,5 +156,40 @@ func TestStatsEmitsSpans(t *testing.T) {
 	}
 	if waits != 1 || holds != 1 {
 		t.Fatalf("spans: waits=%d holds=%d, want 1/1", waits, holds)
+	}
+}
+
+// TestStatsHandoffSum is the regression test for the duplicated hand-off
+// accounting: with acquisitions flowing through both Acquire and the
+// TryAcquire path, counted hand-offs must still sum to acquisitions-1
+// (only the window's first acquisition has no previous holder).
+func TestStatsHandoffSum(t *testing.T) {
+	m := sim.NewMachine(sim.Config{Seed: 15})
+	s := NewStats(m, NewSpin(m, 5, sim.Micros(35)))
+	const nprocs, rounds = 6, 8
+	for i := 0; i < nprocs; i++ {
+		m.Go(i, func(p *sim.Proc) {
+			for r := 0; r < rounds; r++ {
+				// Alternate paths so both hand-off call sites are exercised.
+				if r%2 == 0 {
+					s.Acquire(p)
+				} else {
+					for !s.TryAcquire(p) {
+						p.Think(sim.Micros(3))
+					}
+				}
+				p.Think(sim.Micros(2))
+				s.Release(p)
+				p.Think(p.RNG().Duration(sim.Micros(4)))
+			}
+		})
+	}
+	m.RunAll()
+	m.Shutdown()
+	if s.Acquisitions != nprocs*rounds {
+		t.Fatalf("Acquisitions = %d, want %d", s.Acquisitions, nprocs*rounds)
+	}
+	if got, want := s.HandoffTotal(), s.Acquisitions-1; got != want {
+		t.Fatalf("hand-offs = %d, want acquisitions-1 = %d", got, want)
 	}
 }

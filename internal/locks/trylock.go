@@ -31,6 +31,9 @@ func NewTryLockV1(m *sim.Machine, home int) *TryLockV1 {
 // Name implements Lock.
 func (l *TryLockV1) Name() string { return "TryLockV1" }
 
+// Home implements Lock.
+func (l *TryLockV1) Home() int { return l.mcs.Home() }
+
 // Acquire implements Lock: H2-MCS plus the in-use flag store.
 func (l *TryLockV1) Acquire(p *sim.Proc) {
 	p.Store(l.inuse[p.ID()], 1) // the extra store the paper regrets
@@ -106,6 +109,9 @@ func NewTryLockV2(m *sim.Machine, home int) *TryLockV2 {
 
 // Name implements Lock.
 func (l *TryLockV2) Name() string { return "TryLockV2" }
+
+// Home implements Lock.
+func (l *TryLockV2) Home() int { return l.lock.Module() }
 
 // TryNodeState exposes the state of processor id's interrupt node (tests).
 func (l *TryLockV2) TryNodeState(id int) uint64 {

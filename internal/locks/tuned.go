@@ -66,6 +66,9 @@ func NewTuned(m *sim.Machine, home int, p tune.Params) *Tuned {
 // Name implements Lock.
 func (l *Tuned) Name() string { return "Tuned" }
 
+// Home implements Lock.
+func (l *Tuned) Home() int { return l.home }
+
 // Controller exposes the feedback controller (for reports and tests).
 func (l *Tuned) Controller() *tune.Controller { return l.ctl }
 

@@ -1,10 +1,6 @@
 package sim
 
-import (
-	"encoding/json"
-	"fmt"
-	"io"
-)
+import "fmt"
 
 // DistClass is the topological distance of a memory access on the simulated
 // machine: same processor-memory module, same station, or across the ring.
@@ -57,8 +53,8 @@ const (
 	EvUnpark
 	// EvIRQ marks delivery of an inter-processor interrupt.
 	EvIRQ
-	// EvSpan is a generic duration event (lock wait, lock hold, critical
-	// section) emitted by instrumentation layered above the machine.
+	// EvSpan is a duration event emitted by instrumentation layered above
+	// the machine; Span says which kind (lock wait, page fault, RPC, ...).
 	EvSpan
 	// EvInstant is a generic point event emitted by instrumentation.
 	EvInstant
@@ -81,24 +77,98 @@ func (k EventKind) String() string {
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
 
+// SpanKind types the EvSpan records of the unified pipeline, so sinks can
+// aggregate by meaning instead of parsing names: lock wait/hold from
+// locks.Stats, the kernel's fault path and its per-table lock sections,
+// and the cluster layer's RPCs and IPI handler executions.
+type SpanKind int
+
+const (
+	// SpanNone marks an untyped span (instrumentation that predates, or
+	// does not care about, the typed pipeline).
+	SpanNone SpanKind = iota
+	// SpanLockWait covers an Acquire call, arrival to lock grant.
+	SpanLockWait
+	// SpanLockHold covers grant to Release.
+	SpanLockHold
+	// SpanFault covers a kernel page fault, trap entry to trap exit.
+	SpanFault
+	// SpanUnmap covers a kernel Unmap call.
+	SpanUnmap
+	// SpanRegionSection is the region-table search under the mm lock.
+	SpanRegionSection
+	// SpanFCBSection is the file-cache-block search under the mm lock.
+	SpanFCBSection
+	// SpanPageSection is the page-descriptor search + reserve under the
+	// mm lock.
+	SpanPageSection
+	// SpanRPC covers the caller side of a cross-cluster RPC, issue to
+	// reply.
+	SpanRPC
+	// SpanIPI covers the handler side of an RPC: the IPI handler's
+	// execution on the target processor.
+	SpanIPI
+)
+
+// String names the span kind for trace args and aggregation keys.
+func (k SpanKind) String() string {
+	switch k {
+	case SpanNone:
+		return "span"
+	case SpanLockWait:
+		return "lock.wait"
+	case SpanLockHold:
+		return "lock.hold"
+	case SpanFault:
+		return "vm.fault"
+	case SpanUnmap:
+		return "vm.unmap"
+	case SpanRegionSection:
+		return "vm.region"
+	case SpanFCBSection:
+		return "vm.fcb"
+	case SpanPageSection:
+		return "vm.page"
+	case SpanRPC:
+		return "rpc.call"
+	case SpanIPI:
+		return "rpc.serve"
+	}
+	return fmt.Sprintf("SpanKind(%d)", int(k))
+}
+
+// SpanKindFromString inverts String (trace files round-trip through JSON).
+// Unknown names map to SpanNone.
+func SpanKindFromString(s string) SpanKind {
+	for k := SpanNone; k <= SpanIPI; k++ {
+		if k.String() == s {
+			return k
+		}
+	}
+	return SpanNone
+}
+
 // TraceEvent is one typed record of simulated activity. Start==End for
 // point events; Src/Dst are memory modules (-1 when not applicable).
+// Every record that names both endpoints carries their distance class, so
+// sinks can weigh it without re-deriving topology.
 type TraceEvent struct {
 	Kind  EventKind
+	Span  SpanKind // meaning of an EvSpan record; SpanNone otherwise
 	Name  string
 	Proc  int // processor id; the trace row the event renders on
 	Start Time
 	End   Time
-	Src   int // source module of a memory access, -1 otherwise
-	Dst   int // destination module of a memory access, -1 otherwise
+	Src   int // accessor's module (memory access or span), -1 otherwise
+	Dst   int // accessed/home module (memory access or span), -1 otherwise
 	Dist  DistClass
 	Arg   uint64 // kind-specific payload (e.g. the address accessed)
 }
 
 // Tracer receives typed events from the machine (memory accesses,
 // park/unpark, IRQ delivery) and from instrumentation built on top of it
-// (lock wait/hold spans). A nil tracer costs one pointer check per
-// potential event.
+// (lock wait/hold spans, kernel fault/RPC spans). A nil tracer costs one
+// pointer check per potential event.
 type Tracer interface {
 	Event(TraceEvent)
 }
@@ -121,99 +191,23 @@ func (e *Engine) Emit(ev TraceEvent) {
 // SetTracer installs the tracer on the machine's engine.
 func (m *Machine) SetTracer(t Tracer) { m.Eng.SetTracer(t) }
 
-// --- Chrome trace-event exporter ---
+// Tracing reports whether a tracer is installed — instrumentation checks
+// this before building span names, so disabled tracing costs nothing.
+func (m *Machine) Tracing() bool { return m.Eng.tracer != nil }
 
-// ChromeTracer collects trace events and renders them in the Chrome
-// trace-event JSON format, loadable in chrome://tracing and Perfetto.
-// Processors appear as threads of one process; durations are complete
-// ("X") events; park/unpark and instants are thread-scoped instant ("i")
-// events. Timestamps are microseconds of simulated time.
-type ChromeTracer struct {
-	// MaxEvents caps the number of retained events (0 = unlimited); once
-	// reached, further events are counted but dropped, and the count is
-	// recorded in the trace metadata.
-	MaxEvents int
-
-	events  []TraceEvent
-	dropped uint64
-}
-
-// NewChromeTracer returns an empty collector.
-func NewChromeTracer() *ChromeTracer { return &ChromeTracer{} }
-
-// Event implements Tracer.
-func (c *ChromeTracer) Event(ev TraceEvent) {
-	if c.MaxEvents > 0 && len(c.events) >= c.MaxEvents {
-		c.dropped++
+// EmitSpan forwards a typed span to the installed tracer, computing the
+// src→dst distance class from the emitting processor's module and the
+// object's home module (dst may be -1 when the object has no home). It
+// charges no simulated time.
+func (m *Machine) EmitSpan(kind SpanKind, name string, proc int, start, end Time, dst int, arg uint64) {
+	t := m.Eng.tracer
+	if t == nil {
 		return
 	}
-	c.events = append(c.events, ev)
-}
-
-// Events exposes the collected events (for tests and custom reports).
-func (c *ChromeTracer) Events() []TraceEvent { return c.events }
-
-// Dropped reports how many events were discarded by the MaxEvents cap.
-func (c *ChromeTracer) Dropped() uint64 { return c.dropped }
-
-// chromeEvent is one JSON record of the trace-event format.
-type chromeEvent struct {
-	Name string                 `json:"name"`
-	Cat  string                 `json:"cat"`
-	Ph   string                 `json:"ph"`
-	TS   float64                `json:"ts"`
-	Dur  *float64               `json:"dur,omitempty"`
-	PID  int                    `json:"pid"`
-	TID  int                    `json:"tid"`
-	S    string                 `json:"s,omitempty"`
-	Args map[string]interface{} `json:"args,omitempty"`
-}
-
-// chromeTrace is the JSON object format of the trace-event spec.
-type chromeTrace struct {
-	TraceEvents     []chromeEvent          `json:"traceEvents"`
-	DisplayTimeUnit string                 `json:"displayTimeUnit"`
-	OtherData       map[string]interface{} `json:"otherData,omitempty"`
-}
-
-// Export renders the collected events as Chrome trace-event JSON.
-func (c *ChromeTracer) Export(w io.Writer) error {
-	out := chromeTrace{
-		TraceEvents:     make([]chromeEvent, 0, len(c.events)),
-		DisplayTimeUnit: "ms",
+	ev := TraceEvent{Kind: EvSpan, Span: kind, Name: name, Proc: proc,
+		Start: start, End: end, Src: proc, Dst: dst, Arg: arg}
+	if dst >= 0 {
+		ev.Dist = m.Mem.Distance(proc, dst)
 	}
-	if c.dropped > 0 {
-		out.OtherData = map[string]interface{}{"droppedEvents": c.dropped}
-	}
-	for _, ev := range c.events {
-		ce := chromeEvent{
-			Name: ev.Name,
-			Cat:  ev.Kind.String(),
-			TS:   ev.Start.Microseconds(),
-			PID:  0,
-			TID:  ev.Proc,
-		}
-		switch ev.Kind {
-		case EvAccess:
-			dur := (ev.End - ev.Start).Microseconds()
-			ce.Ph = "X"
-			ce.Dur = &dur
-			ce.Args = map[string]interface{}{
-				"src":  ev.Src,
-				"dst":  ev.Dst,
-				"dist": ev.Dist.String(),
-				"addr": ev.Arg,
-			}
-		case EvSpan:
-			dur := (ev.End - ev.Start).Microseconds()
-			ce.Ph = "X"
-			ce.Dur = &dur
-		default:
-			ce.Ph = "i"
-			ce.S = "t"
-		}
-		out.TraceEvents = append(out.TraceEvents, ce)
-	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(out)
+	t.Event(ev)
 }

@@ -1,17 +1,19 @@
 package sim
 
-import (
-	"bytes"
-	"encoding/json"
-	"testing"
-)
+import "testing"
+
+// collectTracer is a minimal in-package sink for machine-observation tests.
+// (The Chrome exporter and its schema tests live in internal/trace.)
+type collectTracer struct{ events []TraceEvent }
+
+func (c *collectTracer) Event(ev TraceEvent) { c.events = append(c.events, ev) }
 
 // TestTracerObservesMachine checks that a tracer installed on the machine
 // sees memory accesses (with correct distance classes) and scheduling
 // events from a real simulated program.
 func TestTracerObservesMachine(t *testing.T) {
 	m := NewMachine(Config{Seed: 1})
-	tr := NewChromeTracer()
+	tr := &collectTracer{}
 	m.SetTracer(tr)
 
 	local := m.Alloc(0, 1)   // proc 0's own module
@@ -27,7 +29,7 @@ func TestTracerObservesMachine(t *testing.T) {
 
 	want := map[string]DistClass{"store": DistLocal, "load": DistStation, "swap": DistRing}
 	seen := map[string]bool{}
-	for _, ev := range tr.Events() {
+	for _, ev := range tr.events {
 		if ev.Kind != EvAccess {
 			continue
 		}
@@ -55,7 +57,7 @@ func TestTracerObservesMachine(t *testing.T) {
 // that blocks on a memory watch and is woken by a write.
 func TestTracerParkUnpark(t *testing.T) {
 	m := NewMachine(Config{Seed: 2})
-	tr := NewChromeTracer()
+	tr := &collectTracer{}
 	m.SetTracer(tr)
 	flag := m.Alloc(0, 1)
 	m.Go(1, func(p *Proc) {
@@ -68,7 +70,7 @@ func TestTracerParkUnpark(t *testing.T) {
 	m.RunAll()
 	m.Shutdown()
 	var parks, unparks int
-	for _, ev := range tr.Events() {
+	for _, ev := range tr.events {
 		switch ev.Kind {
 		case EvPark:
 			parks++
@@ -81,105 +83,33 @@ func TestTracerParkUnpark(t *testing.T) {
 	}
 }
 
-// TestChromeTraceSchema validates the exported JSON against the Chrome
-// trace-event format: a traceEvents array whose members carry name/cat/ph/
-// ts/pid/tid, with dur on complete ("X") events and a scope on instant
-// ("i") events — the invariants chrome://tracing and Perfetto require.
-func TestChromeTraceSchema(t *testing.T) {
+// TestEmitSpanDistance checks the typed-span constructor fills src/dst and
+// the distance class from the machine topology and round-trips kind names.
+func TestEmitSpanDistance(t *testing.T) {
 	m := NewMachine(Config{Seed: 3})
-	tr := NewChromeTracer()
+	tr := &collectTracer{}
 	m.SetTracer(tr)
-	a := m.Alloc(0, 1)
-	flag := m.Alloc(2, 1)
-	m.Go(0, func(p *Proc) {
-		p.Store(a, 1)
-		p.Swap(a, 2)
-		p.WaitLocal(flag, func(v uint64) bool { return v == 9 })
-	})
-	m.Go(1, func(p *Proc) {
-		p.Think(Micros(3))
-		p.Store(flag, 9)
-	})
-	// An instrumentation-level span, as locks.Stats emits.
-	m.Eng.Emit(TraceEvent{Kind: EvSpan, Name: "hold X", Proc: 0, Start: 0, End: 16, Src: -1, Dst: -1})
-	m.RunAll()
-	m.Shutdown()
+	m.EmitSpan(SpanLockWait, "wait x", 1, 10, 20, 14, 7) // proc 1, home 14: cross-ring
+	m.EmitSpan(SpanFault, "vm.fault", 5, 30, 40, 6, 0)   // proc 5, home 6: same station
+	m.EmitSpan(SpanRPC, "rpc.call", 2, 50, 60, -1, 0)    // no home
 
-	var buf bytes.Buffer
-	if err := tr.Export(&buf); err != nil {
-		t.Fatalf("Export: %v", err)
+	if len(tr.events) != 3 {
+		t.Fatalf("emitted %d events, want 3", len(tr.events))
 	}
-
-	var doc struct {
-		TraceEvents []map[string]interface{} `json:"traceEvents"`
-		Unit        string                   `json:"displayTimeUnit"`
+	ev := tr.events[0]
+	if ev.Kind != EvSpan || ev.Span != SpanLockWait || ev.Src != 1 || ev.Dst != 14 || ev.Dist != DistRing || ev.Arg != 7 {
+		t.Fatalf("span 0 = %+v, want lock.wait 1->14 ring arg 7", ev)
 	}
-	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
-		t.Fatalf("exported trace is not valid JSON: %v", err)
+	if tr.events[1].Dist != DistStation {
+		t.Fatalf("span 1 dist = %v, want station", tr.events[1].Dist)
 	}
-	if len(doc.TraceEvents) == 0 {
-		t.Fatal("trace has no events")
+	if tr.events[2].Dst != -1 {
+		t.Fatalf("span 2 dst = %d, want -1", tr.events[2].Dst)
 	}
-	if doc.Unit != "ms" {
-		t.Errorf("displayTimeUnit = %q, want ms", doc.Unit)
-	}
-	sawComplete, sawInstant := false, false
-	for i, ev := range doc.TraceEvents {
-		for _, key := range []string{"name", "cat", "ph", "ts", "pid", "tid"} {
-			if _, ok := ev[key]; !ok {
-				t.Fatalf("event %d missing required key %q: %v", i, key, ev)
-			}
+	for k := SpanNone; k <= SpanIPI; k++ {
+		if got := SpanKindFromString(k.String()); got != k {
+			t.Errorf("SpanKindFromString(%q) = %v, want %v", k.String(), got, k)
 		}
-		ts, ok := ev["ts"].(float64)
-		if !ok || ts < 0 {
-			t.Fatalf("event %d ts invalid: %v", i, ev["ts"])
-		}
-		switch ph := ev["ph"]; ph {
-		case "X":
-			sawComplete = true
-			dur, ok := ev["dur"].(float64)
-			if !ok || dur < 0 {
-				t.Fatalf("complete event %d has invalid dur: %v", i, ev["dur"])
-			}
-		case "i":
-			sawInstant = true
-			if s, ok := ev["s"].(string); !ok || s == "" {
-				t.Fatalf("instant event %d has no scope: %v", i, ev)
-			}
-		default:
-			t.Fatalf("event %d has unexpected phase %v", i, ph)
-		}
-	}
-	if !sawComplete || !sawInstant {
-		t.Fatalf("trace lacks event phases: complete=%v instant=%v", sawComplete, sawInstant)
-	}
-}
-
-// TestChromeTracerMaxEvents checks the retention cap drops (and counts)
-// overflow instead of growing without bound.
-func TestChromeTracerMaxEvents(t *testing.T) {
-	tr := NewChromeTracer()
-	tr.MaxEvents = 2
-	for i := 0; i < 5; i++ {
-		tr.Event(TraceEvent{Kind: EvInstant, Name: "x", Start: Time(i), End: Time(i)})
-	}
-	if len(tr.Events()) != 2 {
-		t.Fatalf("retained %d events, want 2", len(tr.Events()))
-	}
-	if tr.Dropped() != 3 {
-		t.Fatalf("dropped = %d, want 3", tr.Dropped())
-	}
-	var buf bytes.Buffer
-	if err := tr.Export(&buf); err != nil {
-		t.Fatal(err)
-	}
-	var doc map[string]interface{}
-	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
-		t.Fatal(err)
-	}
-	other, _ := doc["otherData"].(map[string]interface{})
-	if other["droppedEvents"] != float64(3) {
-		t.Fatalf("droppedEvents metadata = %v, want 3", other["droppedEvents"])
 	}
 }
 

@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hurricane/internal/sim"
+)
+
+// Aggregate is the in-memory analysis sink: it folds the event stream into
+// per-module access matrices (accessor module × home module, with distance
+// class totals) and per-object span statistics (per lock, per span kind).
+// It is what the placement analyzer consumes — no event is retained, so it
+// scales to arbitrarily long runs.
+type Aggregate struct {
+	modules int
+	// Access[dst][src] counts memory accesses to module dst issued by
+	// processor/module src.
+	Access [][]uint64
+	// AccessByDist totals accesses by distance class.
+	AccessByDist [3]uint64
+	// EventCount totals events by kind (EvAccess..EvInstant).
+	EventCount map[sim.EventKind]uint64
+	// Objects accumulates span statistics keyed by (span kind, name, home).
+	Objects map[ObjKey]*ObjStats
+}
+
+// ObjKey identifies one spanned object: a lock's wait or hold stream, a
+// cluster's fault path, an RPC target.
+type ObjKey struct {
+	Span sim.SpanKind
+	Name string
+	Home int // the span's Dst module, -1 when none
+}
+
+// ObjStats accumulates one object's spans.
+type ObjStats struct {
+	ObjKey
+	Count  uint64
+	Cycles uint64 // summed span durations
+	// BySrc counts spans by the emitting processor's module.
+	BySrc []uint64
+	// ByDist counts spans by src→home distance class.
+	ByDist [3]uint64
+}
+
+// NewAggregate builds an aggregator for a machine with the given number of
+// processor-memory modules.
+func NewAggregate(modules int) *Aggregate {
+	a := &Aggregate{
+		modules:    modules,
+		Access:     make([][]uint64, modules),
+		EventCount: make(map[sim.EventKind]uint64),
+		Objects:    make(map[ObjKey]*ObjStats),
+	}
+	for i := range a.Access {
+		a.Access[i] = make([]uint64, modules)
+	}
+	return a
+}
+
+// Modules reports the module count the aggregator was built for.
+func (a *Aggregate) Modules() int { return a.modules }
+
+// Event implements Sink.
+func (a *Aggregate) Event(ev sim.TraceEvent) {
+	a.EventCount[ev.Kind]++
+	switch ev.Kind {
+	case sim.EvAccess:
+		if ev.Src >= 0 && ev.Src < a.modules && ev.Dst >= 0 && ev.Dst < a.modules {
+			a.Access[ev.Dst][ev.Src]++
+			a.AccessByDist[ev.Dist]++
+		}
+	case sim.EvSpan:
+		key := ObjKey{Span: ev.Span, Name: ev.Name, Home: ev.Dst}
+		o := a.Objects[key]
+		if o == nil {
+			o = &ObjStats{ObjKey: key, BySrc: make([]uint64, a.modules)}
+			a.Objects[key] = o
+		}
+		o.Count++
+		o.Cycles += uint64(ev.End - ev.Start)
+		if ev.Src >= 0 && ev.Src < a.modules {
+			o.BySrc[ev.Src]++
+			if ev.Dst >= 0 {
+				o.ByDist[ev.Dist]++
+			}
+		}
+	}
+}
+
+// AccessTotal reports the total accesses homed on module dst.
+func (a *Aggregate) AccessTotal(dst int) uint64 {
+	var t uint64
+	for _, n := range a.Access[dst] {
+		t += n
+	}
+	return t
+}
+
+// SortedObjects returns the span objects ordered by descending span count
+// (ties by name then home, so reports are deterministic).
+func (a *Aggregate) SortedObjects() []*ObjStats {
+	objs := make([]*ObjStats, 0, len(a.Objects))
+	for _, o := range a.Objects {
+		objs = append(objs, o)
+	}
+	sort.Slice(objs, func(i, j int) bool {
+		if objs[i].Count != objs[j].Count {
+			return objs[i].Count > objs[j].Count
+		}
+		if objs[i].Name != objs[j].Name {
+			return objs[i].Name < objs[j].Name
+		}
+		return objs[i].Home < objs[j].Home
+	})
+	return objs
+}
+
+// Summary renders the aggregate as an indented text block: event totals,
+// access counts by distance class, the hottest home modules, and the
+// busiest span objects.
+func (a *Aggregate) Summary() string {
+	var b strings.Builder
+	total := a.AccessByDist[0] + a.AccessByDist[1] + a.AccessByDist[2]
+	fmt.Fprintf(&b, "events: %d accesses, %d spans, %d irqs\n",
+		a.EventCount[sim.EvAccess], a.EventCount[sim.EvSpan], a.EventCount[sim.EvIRQ])
+	if total > 0 {
+		fmt.Fprintf(&b, "accesses by distance: %d local (%.0f%%), %d station (%.0f%%), %d ring (%.0f%%)\n",
+			a.AccessByDist[sim.DistLocal], 100*float64(a.AccessByDist[sim.DistLocal])/float64(total),
+			a.AccessByDist[sim.DistStation], 100*float64(a.AccessByDist[sim.DistStation])/float64(total),
+			a.AccessByDist[sim.DistRing], 100*float64(a.AccessByDist[sim.DistRing])/float64(total))
+	}
+	type hot struct {
+		module int
+		n      uint64
+	}
+	var hots []hot
+	for d := 0; d < a.modules; d++ {
+		if n := a.AccessTotal(d); n > 0 {
+			hots = append(hots, hot{d, n})
+		}
+	}
+	sort.Slice(hots, func(i, j int) bool {
+		if hots[i].n != hots[j].n {
+			return hots[i].n > hots[j].n
+		}
+		return hots[i].module < hots[j].module
+	})
+	for i, h := range hots {
+		if i >= 8 {
+			break
+		}
+		fmt.Fprintf(&b, "  module %-3d %8d accesses (%.0f%%)\n", h.module, h.n, 100*float64(h.n)/float64(total))
+	}
+	for i, o := range a.SortedObjects() {
+		if i >= 10 {
+			break
+		}
+		mean := 0.0
+		if o.Count > 0 {
+			mean = sim.Time(o.Cycles / o.Count).Microseconds()
+		}
+		home := "-"
+		if o.Home >= 0 {
+			home = fmt.Sprintf("%d", o.Home)
+		}
+		fmt.Fprintf(&b, "  span %-10s %-16q home %-3s x%-7d mean %.1fus\n",
+			o.Span, o.Name, home, o.Count, mean)
+	}
+	return b.String()
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"hurricane/internal/sim"
+)
+
+// Chrome collects trace events and renders them in the Chrome trace-event
+// JSON format, loadable in chrome://tracing and Perfetto. Processors
+// appear as threads of one process; memory accesses and spans are complete
+// ("X") events; park/unpark and instants are thread-scoped instant ("i")
+// events. Timestamps are microseconds of simulated time, sorted ascending
+// on export so viewers (and the golden-file test) see a monotonic stream.
+type Chrome struct {
+	// MaxEvents caps the number of retained events (0 = unlimited); once
+	// reached, further events are counted but dropped, and the count is
+	// recorded in the trace metadata.
+	MaxEvents int
+
+	events  []sim.TraceEvent
+	dropped uint64
+	machine map[string]interface{}
+}
+
+// NewChrome returns an empty collector.
+func NewChrome() *Chrome { return &Chrome{} }
+
+// SetMachine records the machine's topology and latency classes in the
+// trace metadata, so offline analysis (cmd/traceanal) can rebuild distance
+// classes and cost weights without being told the configuration.
+func (c *Chrome) SetMachine(m *sim.Machine) {
+	cfg := m.Config()
+	lat := m.Lat()
+	c.machine = map[string]interface{}{
+		"stations":        cfg.Stations,
+		"procsPerStation": cfg.ProcsPerStation,
+		"latLocal":        uint64(lat.Local),
+		"latStation":      uint64(lat.Station),
+		"latRing":         uint64(lat.Ring),
+	}
+}
+
+// Event implements Sink (and sim.Tracer, so Chrome also installs alone).
+func (c *Chrome) Event(ev sim.TraceEvent) {
+	if c.MaxEvents > 0 && len(c.events) >= c.MaxEvents {
+		c.dropped++
+		return
+	}
+	c.events = append(c.events, ev)
+}
+
+// Events exposes the collected events (for tests and custom reports).
+func (c *Chrome) Events() []sim.TraceEvent { return c.events }
+
+// Dropped reports how many events were discarded by the MaxEvents cap.
+func (c *Chrome) Dropped() uint64 { return c.dropped }
+
+// chromeEvent is one JSON record of the trace-event format.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat"`
+	Ph   string                 `json:"ph"`
+	TS   float64                `json:"ts"`
+	Dur  *float64               `json:"dur,omitempty"`
+	PID  int                    `json:"pid"`
+	TID  int                    `json:"tid"`
+	S    string                 `json:"s,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON object format of the trace-event spec.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent          `json:"traceEvents"`
+	DisplayTimeUnit string                 `json:"displayTimeUnit"`
+	OtherData       map[string]interface{} `json:"otherData,omitempty"`
+}
+
+// Export renders the collected events as Chrome trace-event JSON, sorted by
+// start time (stable, so same-timestamp events keep emission order and the
+// output is deterministic).
+func (c *Chrome) Export(w io.Writer) error {
+	sorted := make([]sim.TraceEvent, len(c.events))
+	copy(sorted, c.events)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+
+	out := chromeTrace{
+		TraceEvents:     make([]chromeEvent, 0, len(sorted)),
+		DisplayTimeUnit: "ms",
+	}
+	if c.dropped > 0 || c.machine != nil {
+		out.OtherData = map[string]interface{}{}
+		if c.dropped > 0 {
+			out.OtherData["droppedEvents"] = c.dropped
+		}
+		if c.machine != nil {
+			out.OtherData["machine"] = c.machine
+		}
+	}
+	for _, ev := range sorted {
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  ev.Kind.String(),
+			TS:   ev.Start.Microseconds(),
+			PID:  0,
+			TID:  ev.Proc,
+		}
+		switch ev.Kind {
+		case sim.EvAccess:
+			dur := (ev.End - ev.Start).Microseconds()
+			ce.Ph = "X"
+			ce.Dur = &dur
+			ce.Args = map[string]interface{}{
+				"src":  ev.Src,
+				"dst":  ev.Dst,
+				"dist": ev.Dist.String(),
+				"addr": ev.Arg,
+			}
+		case sim.EvSpan:
+			dur := (ev.End - ev.Start).Microseconds()
+			ce.Ph = "X"
+			ce.Dur = &dur
+			ce.Args = map[string]interface{}{"kind": ev.Span.String()}
+			if ev.Src >= 0 && ev.Dst >= 0 {
+				ce.Args["src"] = ev.Src
+				ce.Args["dst"] = ev.Dst
+				ce.Args["dist"] = ev.Dist.String()
+			}
+			if ev.Arg != 0 {
+				ce.Args["obj"] = ev.Arg
+			}
+		default:
+			ce.Ph = "i"
+			ce.S = "t"
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

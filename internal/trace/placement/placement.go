@@ -1,0 +1,258 @@
+// Package placement turns an aggregated trace into placement advice: given
+// who accessed what (accessor module × home module, weighted by distance
+// class), it proposes the home module for each piece of kernel data — and
+// each lock — that minimizes ring crossings, the paper's dominant cost.
+// Proposals are advisory; exp.Placement replays a workload with them
+// applied and measures the actual reduction.
+package placement
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hurricane/internal/sim"
+	"hurricane/internal/trace"
+)
+
+// Topo is the machine topology the analyzer reasons over (it must match
+// the traced machine; cmd/traceanal reads it from the trace metadata).
+type Topo struct {
+	Stations, ProcsPerStation int
+}
+
+// Modules reports the module count.
+func (t Topo) Modules() int { return t.Stations * t.ProcsPerStation }
+
+// Dist classifies the distance from module src to module dst.
+func (t Topo) Dist(src, dst int) sim.DistClass {
+	switch {
+	case src == dst:
+		return sim.DistLocal
+	case src/t.ProcsPerStation == dst/t.ProcsPerStation:
+		return sim.DistStation
+	default:
+		return sim.DistRing
+	}
+}
+
+// Costs weighs one access at each distance class, in cycles. Use the
+// traced machine's uncontended latencies.
+type Costs struct {
+	Local, Station, Ring float64
+}
+
+// CostsFromLatency derives weights from a machine's latency parameters.
+func CostsFromLatency(lat sim.Latency) Costs {
+	return Costs{Local: float64(lat.Local), Station: float64(lat.Station), Ring: float64(lat.Ring)}
+}
+
+// DefaultCosts are the HECTOR weights (10/19/23 cycles).
+func DefaultCosts() Costs { return CostsFromLatency(sim.DefaultLatency()) }
+
+func (c Costs) of(d sim.DistClass) float64 {
+	switch d {
+	case sim.DistLocal:
+		return c.Local
+	case sim.DistStation:
+		return c.Station
+	}
+	return c.Ring
+}
+
+// keepEpsilon is the indifference band: a move must beat the current home
+// by more than this fraction of cost to be proposed, and candidates within
+// the band of the optimum are interchangeable (the least-loaded one wins,
+// so proposals do not pile every hot object onto one module).
+const keepEpsilon = 0.02
+
+// Proposal is the analyzer's verdict for one object.
+type Proposal struct {
+	// Object names what would move ("module 8 data", `lock "H2-MCS"`).
+	Object string
+	// Home and Proposed are the current and recommended home modules;
+	// equal when the analyzer recommends keeping the placement.
+	Home, Proposed int
+	// Weight is the object's access (or span) count — what the costs are
+	// weighted by.
+	Weight uint64
+	// CurCost and NewCost are the weighted access costs (cycles) at the
+	// current and proposed home.
+	CurCost, NewCost float64
+	// CurByDist and NewByDist split Weight by distance class at the
+	// current and proposed home.
+	CurByDist, NewByDist [3]uint64
+}
+
+// Moved reports whether the proposal is an actual move.
+func (p Proposal) Moved() bool { return p.Proposed != p.Home }
+
+// Report is the full analysis.
+type Report struct {
+	Topo  Topo
+	Costs Costs
+	// Data holds one proposal per home module with traffic, hottest first.
+	Data []Proposal
+	// Locks holds one proposal per traced lock (from wait spans).
+	Locks []Proposal
+}
+
+// Analyze derives placement proposals from an aggregated trace.
+func Analyze(agg *trace.Aggregate, topo Topo, costs Costs) *Report {
+	n := topo.Modules()
+	if agg.Modules() < n {
+		n = agg.Modules()
+	}
+	r := &Report{Topo: topo, Costs: costs}
+
+	// load tracks projected incoming accesses per module as moves are
+	// assigned, so near-tied candidates spread instead of piling up.
+	load := make([]float64, n)
+	for d := 0; d < n; d++ {
+		load[d] = float64(agg.AccessTotal(d))
+	}
+
+	type item struct {
+		home   int
+		vector []uint64
+		total  uint64
+	}
+	var items []item
+	for d := 0; d < n; d++ {
+		if t := agg.AccessTotal(d); t > 0 {
+			items = append(items, item{home: d, vector: agg.Access[d], total: t})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].total != items[j].total {
+			return items[i].total > items[j].total
+		}
+		return items[i].home < items[j].home
+	})
+	for _, it := range items {
+		p := propose(fmt.Sprintf("module %d data", it.home), it.home, it.vector, topo, costs, load)
+		if p.Moved() {
+			load[p.Proposed] += float64(it.total)
+			load[p.Home] -= float64(it.total)
+		}
+		r.Data = append(r.Data, p)
+	}
+
+	// Locks, from wait spans (one per acquisition; the lock word's own
+	// accesses are already in the data matrix — this names the object).
+	for _, o := range agg.SortedObjects() {
+		if o.Span != sim.SpanLockWait || o.Home < 0 || o.Home >= n {
+			continue
+		}
+		name := strings.TrimPrefix(o.Name, "wait ")
+		p := propose(fmt.Sprintf("lock %q", name), o.Home, o.BySrc, topo, costs, load)
+		r.Locks = append(r.Locks, p)
+	}
+	return r
+}
+
+// propose picks the cost-minimizing home for one access vector, with the
+// keep-epsilon indifference band and least-projected-load tie-breaking.
+func propose(object string, home int, vector []uint64, topo Topo, costs Costs, load []float64) Proposal {
+	n := len(load)
+	cost := func(cand int) float64 {
+		var c float64
+		for src, cnt := range vector {
+			if cnt == 0 || src >= n {
+				continue
+			}
+			c += float64(cnt) * costs.of(topo.Dist(src, cand))
+		}
+		return c
+	}
+	byDist := func(cand int) (d [3]uint64) {
+		for src, cnt := range vector {
+			if cnt == 0 || src >= n {
+				continue
+			}
+			d[topo.Dist(src, cand)] += cnt
+		}
+		return d
+	}
+
+	cur := cost(home)
+	best, bestCost := home, cur
+	for cand := 0; cand < n; cand++ {
+		if c := cost(cand); c < bestCost {
+			best, bestCost = cand, c
+		}
+	}
+	// Keep the current home when it is within the indifference band of the
+	// optimum; otherwise pick the least-loaded candidate within the band.
+	choice := home
+	if cur > bestCost*(1+keepEpsilon) {
+		choice = best
+		for cand := 0; cand < n; cand++ {
+			if cand == choice {
+				continue
+			}
+			if cost(cand) <= bestCost*(1+keepEpsilon) && load[cand] < load[choice] {
+				choice = cand
+			}
+		}
+	}
+
+	var w uint64
+	for _, cnt := range vector {
+		w += cnt
+	}
+	return Proposal{
+		Object: object, Home: home, Proposed: choice, Weight: w,
+		CurCost: cur, NewCost: cost(choice),
+		CurByDist: byDist(home), NewByDist: byDist(choice),
+	}
+}
+
+// Moves returns the proposed data moves as a current-home → new-home map.
+func (r *Report) Moves() map[int]int {
+	mv := map[int]int{}
+	for _, p := range r.Data {
+		if p.Moved() {
+			mv[p.Home] = p.Proposed
+		}
+	}
+	return mv
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "placement analysis: %d modules (%d stations x %d), costs %g/%g/%g cycles\n",
+		r.Topo.Modules(), r.Topo.Stations, r.Topo.ProcsPerStation,
+		r.Costs.Local, r.Costs.Station, r.Costs.Ring)
+	section := func(title string, props []Proposal) {
+		if len(props) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "%s:\n", title)
+		for _, p := range props {
+			verdict := "keep"
+			if p.Moved() {
+				saved := 0.0
+				if p.CurCost > 0 {
+					saved = 100 * (p.CurCost - p.NewCost) / p.CurCost
+				}
+				verdict = fmt.Sprintf("-> module %d (cost -%.0f%%, ring %d -> %d)",
+					p.Proposed, saved, p.CurByDist[sim.DistRing], p.NewByDist[sim.DistRing])
+			}
+			fmt.Fprintf(&b, "  %-16s home %-3d %8d weight  %5.0f%% ring  %s\n",
+				p.Object, p.Home, p.Weight, ringPct(p.CurByDist), verdict)
+		}
+	}
+	section("data placement", r.Data)
+	section("lock placement", r.Locks)
+	return b.String()
+}
+
+func ringPct(d [3]uint64) float64 {
+	tot := d[0] + d[1] + d[2]
+	if tot == 0 {
+		return 0
+	}
+	return 100 * float64(d[sim.DistRing]) / float64(tot)
+}

@@ -1,0 +1,117 @@
+package placement
+
+import (
+	"strings"
+	"testing"
+
+	"hurricane/internal/sim"
+	"hurricane/internal/trace"
+)
+
+// TestAnalyzeMovesRemoteData builds a trace where module 13's data is
+// accessed almost entirely from station 0: the analyzer must propose moving
+// it into station 0, and the projection must show the ring traffic gone.
+func TestAnalyzeMovesRemoteData(t *testing.T) {
+	topo := Topo{Stations: 4, ProcsPerStation: 4}
+	agg := trace.NewAggregate(topo.Modules())
+	emit := func(src, dst int, n int) {
+		for i := 0; i < n; i++ {
+			agg.Event(sim.TraceEvent{Kind: sim.EvAccess, Src: src, Dst: dst,
+				Dist: topo.Dist(src, dst)})
+		}
+	}
+	// Hot object homed on 13, hammered from modules 0-3 (all cross-ring).
+	emit(0, 13, 400)
+	emit(1, 13, 300)
+	emit(2, 13, 200)
+	emit(3, 13, 100)
+	emit(13, 13, 10) // a little local traffic from its own module
+	// A well-placed object for contrast: module 5 used from its own station.
+	emit(4, 5, 50)
+	emit(5, 5, 50)
+
+	rep := Analyze(agg, topo, DefaultCosts())
+	if len(rep.Data) != 2 {
+		t.Fatalf("got %d data proposals, want 2", len(rep.Data))
+	}
+	hot := rep.Data[0] // hottest first
+	if hot.Home != 13 || !hot.Moved() {
+		t.Fatalf("hot object not moved: %+v", hot)
+	}
+	if hot.Proposed/4 != 0 {
+		t.Fatalf("proposed module %d is not in station 0", hot.Proposed)
+	}
+	if hot.NewByDist[sim.DistRing] >= hot.CurByDist[sim.DistRing] {
+		t.Fatalf("ring accesses did not drop: %d -> %d",
+			hot.CurByDist[sim.DistRing], hot.NewByDist[sim.DistRing])
+	}
+	if hot.NewCost >= hot.CurCost {
+		t.Fatalf("cost did not drop: %.0f -> %.0f", hot.CurCost, hot.NewCost)
+	}
+	for _, p := range rep.Data[1:] {
+		if p.Home == 5 && p.Moved() {
+			t.Fatalf("well-placed module 5 data was moved: %+v", p)
+		}
+	}
+	mv := rep.Moves()
+	if len(mv) != 1 || mv[13] != hot.Proposed {
+		t.Fatalf("Moves() = %v, want {13: %d}", mv, hot.Proposed)
+	}
+	out := rep.String()
+	for _, frag := range []string{"placement analysis", "data placement", "-> module", "keep"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("report missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestAnalyzeLockProposals checks lock-wait spans produce lock proposals.
+func TestAnalyzeLockProposals(t *testing.T) {
+	topo := Topo{Stations: 4, ProcsPerStation: 4}
+	agg := trace.NewAggregate(topo.Modules())
+	for src, n := range map[int]int{0: 50, 1: 40, 2: 30} {
+		for i := 0; i < n; i++ {
+			agg.Event(sim.TraceEvent{Kind: sim.EvSpan, Span: sim.SpanLockWait,
+				Name: "wait H2-MCS", Proc: src, Src: src, Dst: 12,
+				Dist: topo.Dist(src, 12)})
+		}
+	}
+	rep := Analyze(agg, topo, DefaultCosts())
+	if len(rep.Locks) != 1 {
+		t.Fatalf("got %d lock proposals, want 1", len(rep.Locks))
+	}
+	l := rep.Locks[0]
+	if l.Object != `lock "H2-MCS"` {
+		t.Errorf("object = %q", l.Object)
+	}
+	if !l.Moved() || l.Proposed/4 != 0 {
+		t.Fatalf("lock not moved into station 0: %+v", l)
+	}
+}
+
+// TestAnalyzeSpreadsTies checks the load-aware tie-break: two equally hot
+// objects contended from the same sources should not both land on the same
+// module when an equal-cost alternative exists.
+func TestAnalyzeSpreadsTies(t *testing.T) {
+	topo := Topo{Stations: 4, ProcsPerStation: 4}
+	agg := trace.NewAggregate(topo.Modules())
+	emit := func(src, dst int, n int) {
+		for i := 0; i < n; i++ {
+			agg.Event(sim.TraceEvent{Kind: sim.EvAccess, Src: src, Dst: dst,
+				Dist: topo.Dist(src, dst)})
+		}
+	}
+	// Two remote objects both accessed only from modules 0 and 1 equally:
+	// any module in station 0 has the same cost for them.
+	emit(0, 12, 100)
+	emit(1, 12, 100)
+	emit(0, 13, 100)
+	emit(1, 13, 100)
+	rep := Analyze(agg, topo, DefaultCosts())
+	if len(rep.Data) != 2 || !rep.Data[0].Moved() || !rep.Data[1].Moved() {
+		t.Fatalf("expected both objects moved: %+v", rep.Data)
+	}
+	if rep.Data[0].Proposed == rep.Data[1].Proposed {
+		t.Fatalf("both objects piled onto module %d", rep.Data[0].Proposed)
+	}
+}

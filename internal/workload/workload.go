@@ -124,6 +124,8 @@ type ResourceUtil struct {
 // measured rounds, and (optionally) a full event trace.
 type LockStressObserved struct {
 	LockStressResult
+	// M is the machine the run executed on (trace sinks read its topology).
+	M *sim.Machine
 	// Lock holds the per-lock telemetry accumulated over the measured
 	// rounds (acquisitions, hold times, queue depth, hand-off distances).
 	Lock *locks.Stats
@@ -203,7 +205,7 @@ func LockStressRun(cfg StressConfig) *LockStressObserved {
 		}
 		p.Think(h)
 	}
-	res := &LockStressObserved{Lock: l, HomeModule: home}
+	res := &LockStressObserved{M: m, Lock: l, HomeModule: home}
 	dist := &stats.Dist{}
 	bar := NewBarrier(cfg.Procs)
 	windowOpen := false
@@ -223,6 +225,10 @@ func LockStressRun(cfg StressConfig) *LockStressObserved {
 				res.WindowStart = p.Now()
 				m.Mem.ResetStats()
 				l.ResetWindow()
+				// Mark the window edge in the trace so a viewer (and the
+				// aggregator's readers) can separate warm-up from measurement.
+				m.Eng.Emit(sim.TraceEvent{Kind: sim.EvInstant, Name: "measurement window opens",
+					Proc: p.ID(), Start: p.Now(), End: p.Now(), Src: -1, Dst: -1})
 			}
 			for r := 0; r < cfg.Rounds; r++ {
 				t0 := p.Now()
