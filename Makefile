@@ -61,6 +61,9 @@ trace-smoke:
 	grep -q "lock placement" /tmp/hurricane_smoke.txt
 	grep -q "span vm.fault" /tmp/hurricane_smoke.txt
 	@echo "trace-smoke: traced kernel run produced a placement report"
+	$(GO) run ./cmd/clustersim -size 16 -procs 4 -rounds 8 -migrate > /tmp/hurricane_migrate.txt
+	grep -Eq "migrations: [1-9]" /tmp/hurricane_migrate.txt
+	@echo "trace-smoke: online placement daemon migrated kernel data mid-run"
 
 # Refresh the checked-in baseline after an intentional performance change
 # (commit the result and explain the shift in the PR).

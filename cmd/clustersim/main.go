@@ -4,6 +4,12 @@
 //
 //	clustersim -size 4 -procs 16 -workload shared
 //	clustersim -size 1 -workload independent -lock spin
+//	clustersim -size 16 -procs 4 -migrate     # online placement daemon
+//
+// With -migrate, kernel-data slots are allocated in migratable regions and
+// an online placement daemon samples the live access trace, re-homing hot
+// slots toward their accessors mid-run; the daemon's move log and the
+// charged migration cost are printed after the run.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"hurricane/internal/locks"
 	"hurricane/internal/sim"
 	"hurricane/internal/trace"
+	"hurricane/internal/trace/placement"
 	"hurricane/internal/workload"
 )
 
@@ -27,6 +34,7 @@ func main() {
 	rounds := flag.Int("rounds", 20, "fault rounds per process")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the run")
+	migrate := flag.Bool("migrate", false, "run the online placement daemon (migratable kernel-data slots)")
 	flag.Parse()
 
 	kinds := map[string]locks.Kind{
@@ -39,16 +47,28 @@ func main() {
 		os.Exit(2)
 	}
 	var tracer *trace.Chrome
+	var agg *trace.Aggregate
 	var t sim.Tracer
 	if *tracePath != "" {
 		tracer = trace.NewChrome()
 		t = tracer
+	}
+	if *migrate {
+		// The daemon reads the live aggregate, so it must be in the sink
+		// chain; a Chrome trace, if also requested, rides the same stream.
+		agg = trace.NewAggregate(16)
+		if tracer != nil {
+			t = trace.NewPipeline(tracer, agg)
+		} else {
+			t = agg
+		}
 	}
 	sys := core.NewSystem(core.Config{
 		Machine:     sim.Config{Seed: *seed},
 		ClusterSize: *size,
 		LockKind:    lk,
 		Tracer:      t,
+		Migratable:  *migrate,
 	})
 	if tracer != nil {
 		tracer.SetMachine(sys.M)
@@ -57,6 +77,14 @@ func main() {
 		for c := 0; c < sys.K.Topo.N; c++ {
 			sys.K.VM.SetMMLock(c, locks.NewStats(sys.M, sys.K.VM.MMLock(c)))
 		}
+	}
+	var daemon *placement.Daemon
+	if *migrate {
+		daemon = placement.NewDaemon(sys.M, agg,
+			placement.Topo{Stations: 4, ProcsPerStation: 4}, placement.DefaultCosts(),
+			placement.DaemonParams{Period: sim.Micros(25), Decay: 0.9, MinWeight: 0.25, Confirm: 3},
+			placement.ManageKernel(sys.K))
+		daemon.Start()
 	}
 
 	var res workload.FaultResult
@@ -81,6 +109,12 @@ func main() {
 	fmt.Printf("  RPC calls:               %d (retried %d)\n", sys.K.RPC.Calls, sys.K.RPC.Retries)
 	fmt.Printf("  IPI work deferred by the logical mask: %d\n", sys.K.Gate.Deferred)
 	fmt.Printf("  elapsed: %v simulated\n", res.Elapsed)
+	if daemon != nil {
+		fmt.Printf("  migrations: %d (%d words copied, %.1fus charged)\n",
+			res.Stats.Migrations, res.Stats.MigratedWords,
+			float64(res.Stats.MigrationCycles)/sim.CyclesPerMicrosecond)
+		fmt.Print("  " + daemon.Report())
+	}
 
 	// Memory-system hot spots (windowed: the window opened at machine
 	// construction, so this covers the whole run).

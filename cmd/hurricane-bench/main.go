@@ -102,6 +102,7 @@ func main() {
 		{"utilization", func() *exp.Table { return exp.LockUtilization(*seed, rounds(120, 30)) }},
 		{"utilization64", func() *exp.Table { return exp.LockUtilization64(*seed, rounds(40, 10)) }},
 		{"placement", func() *exp.Table { return exp.Placement(*seed, rounds(30, 8)) }},
+		{"placement_online", func() *exp.Table { return exp.PlacementOnline(*seed, rounds(30, 24)) }},
 		{"calibration", func() *exp.Table { return exp.Calibration(*seed) }},
 		{"trylock", func() *exp.Table { return exp.TryLockFairness(*seed, rounds(60, 20)) }},
 		{"protocols", func() *exp.Table { return exp.Protocols(*seed) }},

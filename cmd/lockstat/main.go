@@ -18,6 +18,13 @@
 // the controller's decision log is printed after the run: per sampling
 // window, the measured home-module utilization, the smoothed wait
 // estimate, and the backoff cap / mode the controller chose.
+//
+// With -migrate, the protected data lives in a migratable region (use
+// -home to start it away from the contenders, e.g. -home 12 -procs 4) and
+// the online placement daemon re-homes it mid-run from the live access
+// trace; its move log is printed after the run.
+//
+//	lockstat -lock h2mcs -procs 4 -home 12 -migrate  # daemon pulls the data to station 0
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"hurricane/internal/machine"
 	"hurricane/internal/sim"
 	"hurricane/internal/trace"
+	"hurricane/internal/trace/placement"
 	"hurricane/internal/tune"
 	"hurricane/internal/workload"
 )
@@ -47,9 +55,10 @@ var kinds = map[string]locks.Kind{
 var machines = map[string]struct {
 	cfg      func(seed uint64) sim.Config
 	maxProcs int
+	topo     placement.Topo
 }{
-	"hector16":    {machine.Hector16, 16},
-	"numachine64": {machine.NUMAchine64, 64},
+	"hector16":    {machine.Hector16, 16, placement.Topo{Stations: 4, ProcsPerStation: 4}},
+	"numachine64": {machine.NUMAchine64, 64, placement.Topo{Stations: 8, ProcsPerStation: 8}},
 }
 
 func main() {
@@ -63,6 +72,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	showStats := flag.Bool("stats", false, "print per-lock and per-resource telemetry")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the run")
+	home := flag.Int("home", 0, "home module of the lock and its protected data")
+	migrate := flag.Bool("migrate", false, "protected data in a migratable region managed by the online placement daemon")
 	flag.Parse()
 
 	if *tuned {
@@ -91,15 +102,27 @@ func main() {
 		kind, us, counts.Atomic, counts.Mem, counts.Reg, counts.Branch)
 
 	var tracer *trace.Chrome
+	var agg *trace.Aggregate
 	var t sim.Tracer
 	if *tracePath != "" {
 		tracer = trace.NewChrome()
 		t = tracer
 	}
+	if *migrate {
+		// The daemon's control signal is the live aggregate; fan the event
+		// stream out if a Chrome trace was also requested.
+		agg = trace.NewAggregate(mc.topo.Modules())
+		if tracer != nil {
+			t = trace.NewPipeline(tracer, agg)
+		} else {
+			t = agg
+		}
+	}
 
 	// Build through StressConfig so the machine is selectable and, for the
 	// tuned lock, the controller stays reachable for the decision log.
 	var tl *locks.Tuned
+	var daemon *placement.Daemon
 	cfg := workload.StressConfig{
 		Machine: mc.cfg(*seed),
 		Kind:    kind,
@@ -107,12 +130,36 @@ func main() {
 		Rounds:  *rounds,
 		Warmup:  *warmup,
 		Hold:    sim.Micros(*holdUS),
+		Home:    *home,
 		Tracer:  t,
+		Region:  *migrate,
 	}
 	if kind == locks.KindTuned {
 		cfg.MakeLock = func(m *sim.Machine, home int) locks.Lock {
 			tl = locks.NewTuned(m, home, tune.Params{})
 			return tl
+		}
+	}
+	if *migrate {
+		cfg.Attach = func(r *workload.LockStressObserved) {
+			// The stress run only starts -procs processors, so the default
+			// executor (the processor co-located with the data's home) may
+			// never be scheduled; run every copy on processor 0 instead.
+			// The copy itself needs no extra lock here: the region's words
+			// are re-pointed atomically and the burst is serialized against
+			// in-flight accesses by the module/ring resource queues.
+			params := placement.DefaultDaemonParams()
+			params.Exec = func(int) int { return 0 }
+			daemon = placement.NewDaemon(r.M, agg, mc.topo,
+				placement.CostsFromLatency(r.M.Lat()), params,
+				[]placement.DaemonSlot{{
+					Name:   "lock data",
+					Region: r.DataRegion,
+					Migrate: func(p *sim.Proc, to int) {
+						r.M.Mem.MigrateRegion(p, r.DataRegion, to)
+					},
+				}})
+			daemon.Start()
 		}
 	}
 	r := workload.LockStressRun(cfg)
@@ -129,6 +176,12 @@ func main() {
 	if tl != nil {
 		fmt.Println()
 		fmt.Print(tl.Controller().Report())
+	}
+
+	if daemon != nil {
+		fmt.Println()
+		fmt.Print(daemon.Report())
+		fmt.Printf("data region home: module %d\n", r.M.Mem.Home(r.DataRegion))
 	}
 
 	if *showStats {

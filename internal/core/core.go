@@ -43,6 +43,9 @@ type Config struct {
 	Buckets int
 	// SlotModule overrides kernel data placement (see kernel.Config).
 	SlotModule func(c, slot, def int) int
+	// Migratable allocates kernel-data slots in migratable regions so an
+	// online placement daemon can re-home them mid-run (see kernel.Config).
+	Migratable bool
 	// Tracer, when non-nil, is installed on the machine before the kernel
 	// allocates anything, so a trace covers the system's whole lifetime.
 	Tracer sim.Tracer
@@ -71,6 +74,7 @@ func NewSystem(cfg Config) *System {
 		Protocol:    cfg.Protocol,
 		Buckets:     cfg.Buckets,
 		SlotModule:  cfg.SlotModule,
+		Migratable:  cfg.Migratable,
 	})
 	return &System{M: m, K: k, busy: make(map[int]bool)}
 }

@@ -235,3 +235,34 @@ func TestReportJSONRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestPlacementOnlineTableDeterministicAcrossJobs(t *testing.T) {
+	// The online daemon is part of the simulation, so the experiment must
+	// stay byte-identical at any worker-pool width (the BENCH_sim.json
+	// -jobs guarantee).
+	SetParallelism(1)
+	serial := PlacementOnline(3, 4).String()
+	SetParallelism(4)
+	defer SetParallelism(1)
+	parallel := PlacementOnline(3, 4).String()
+	if serial != parallel {
+		t.Fatalf("placement_online differs between -jobs 1 and 4:\n%s\n---\n%s", serial, parallel)
+	}
+
+	tbl := PlacementOnline(3, 4)
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (2 machines x static/offline/online)", len(tbl.Rows))
+	}
+	vals := map[string]float64{}
+	for _, m := range tbl.Metrics {
+		vals[m.Name] = m.Value
+	}
+	for _, machine := range []string{"hector16", "numachine64"} {
+		if vals[machine+".online.moves"] == 0 {
+			t.Errorf("%s: online daemon made no moves", machine)
+		}
+		if vals[machine+".online.migration_overhead"] <= 0 {
+			t.Errorf("%s: online run charged no migration cost", machine)
+		}
+	}
+}

@@ -4,12 +4,126 @@ import (
 	"fmt"
 
 	"hurricane/internal/core"
+	"hurricane/internal/kernel"
 	"hurricane/internal/locks"
 	"hurricane/internal/sim"
 	"hurricane/internal/trace"
 	"hurricane/internal/trace/placement"
 	"hurricane/internal/workload"
 )
+
+// placementCell describes the machine a placement experiment cell runs on:
+// a single cluster spanning the whole machine, with the analyzer's topology
+// and cost model matching the hardware.
+type placementCell struct {
+	machine sim.Config
+	size    int // cluster size == processor count
+	topo    placement.Topo
+	costs   placement.Costs
+}
+
+// placementPhase is one traced, telemetry-wrapped run of the station-0
+// faulter workload: 4 faulting processes concentrated in station 0 while
+// the cluster's kernel data is striped across the machine (the topology's
+// default), so most slots are pure cross-ring traffic placement should
+// eliminate.
+type placementPhase struct {
+	agg     *trace.Aggregate
+	mm      *locks.Stats
+	faultUS float64
+	kstats  kernel.Stats
+	daemon  *placement.Daemon // non-nil when the online daemon ran
+}
+
+// runPlacement executes the workload once on cell's machine. A non-nil
+// moves map replays analyzer-proposed homes offline (kernel SlotModule); a
+// non-nil daemon parameter set instead allocates the kernel data in
+// migratable regions and lets the online daemon re-home it mid-run. Both
+// nil is the static baseline.
+func runPlacement(cell placementCell, rounds int, moves map[int]int, daemon *placement.DaemonParams) placementPhase {
+	var ph placementPhase
+	ph.agg = trace.NewAggregate(cell.topo.Modules())
+	cfg := core.Config{
+		Machine:     cell.machine,
+		ClusterSize: cell.size,
+		LockKind:    locks.KindH2MCS,
+		Tracer:      ph.agg,
+	}
+	if moves != nil {
+		cfg.SlotModule = func(c, slot, def int) int {
+			if to, ok := moves[def]; ok {
+				return to
+			}
+			return def
+		}
+	}
+	if daemon != nil {
+		cfg.Migratable = true
+	}
+	sys := core.NewSystem(cfg)
+	ph.mm = locks.NewStats(sys.M, sys.K.VM.MMLock(0))
+	sys.K.VM.SetMMLock(0, ph.mm)
+	if daemon != nil {
+		ph.daemon = placement.NewDaemon(sys.M, ph.agg, cell.topo, cell.costs,
+			*daemon, placement.ManageKernel(sys.K))
+		ph.daemon.Start()
+	}
+	res := workload.IndependentFaults(sys, 4, 4, rounds)
+	ph.faultUS = res.Dist.Mean()
+	ph.kstats = res.Stats
+	return ph
+}
+
+// placementReport appends one phase's shared measurement columns (fault
+// latency, mm-lock acquire, ring-access share and counts, ring hand-offs,
+// RPC ring share) plus the standard metrics, namespaced by prefix (empty
+// for the offline experiment's historical metric names). Extra cells
+// (online move counts, migration overhead) follow the shared ones. It
+// returns the phase's cross-ring access count.
+func placementReport(t *Table, prefix, name string, ph placementPhase, extra ...string) uint64 {
+	total := ph.agg.AccessByDist[0] + ph.agg.AccessByDist[1] + ph.agg.AccessByDist[2]
+	ringAcc := ph.agg.AccessByDist[sim.DistRing]
+	ringPct := 0.0
+	if total > 0 {
+		ringPct = 100 * float64(ringAcc) / float64(total)
+	}
+	rpcObj := uint64(0)
+	rpcRing := uint64(0)
+	for _, o := range ph.agg.SortedObjects() {
+		if o.Span == sim.SpanRPC {
+			rpcObj += o.Count
+			rpcRing += o.ByDist[sim.DistRing]
+		}
+	}
+	rpcPct := 0.0
+	if rpcObj > 0 {
+		rpcPct = 100 * float64(rpcRing) / float64(rpcObj)
+	}
+	rowName := name
+	full := name
+	if prefix != "" {
+		rowName = prefix + "/" + name
+		full = prefix + "." + name
+	}
+	cells := []string{rowName, f1(ph.faultUS), f1(ph.mm.AcquireUS.Mean()), f1(ringPct),
+		d(ringAcc), d(ph.mm.Handoffs[sim.DistRing]), f1(rpcPct)}
+	t.AddRow(append(cells, extra...)...)
+	t.AddMetric(fmt.Sprintf("%s.fault_mean", full), ph.faultUS, "us")
+	t.AddMetric(fmt.Sprintf("%s.mm_acquire_mean", full), ph.mm.AcquireUS.Mean(), "us")
+	t.AddMetric(fmt.Sprintf("%s.ring_accesses", full), float64(ringAcc), "count")
+	t.AddMetric(fmt.Sprintf("%s.ring_handoffs", full), float64(ph.mm.Handoffs[sim.DistRing]), "count")
+	return ringAcc
+}
+
+// hectorCell is the paper's machine as a placement cell.
+func hectorCell(seed uint64) placementCell {
+	return placementCell{
+		machine: sim.Config{Seed: seed},
+		size:    16,
+		topo:    placement.Topo{Stations: 4, ProcsPerStation: 4},
+		costs:   placement.DefaultCosts(),
+	}
+}
 
 // Placement closes the loop the trace pipeline exists for: trace a
 // Figure-7-style fault workload, feed the aggregated access matrix to the
@@ -29,76 +143,19 @@ func Placement(seed uint64, rounds int) *Table {
 		Cols: []string{"run", "fault_us", "mm_acq_us", "ring_acc%", "ring_accesses",
 			"ring_handoffs", "rpc_ring%"},
 	}
-	topo := placement.Topo{Stations: 4, ProcsPerStation: 4}
-
-	type phase struct {
-		agg     *trace.Aggregate
-		mm      *locks.Stats
-		faultUS float64
-	}
-	run := func(moves map[int]int) phase {
-		var ph phase
-		ph.agg = trace.NewAggregate(topo.Modules())
-		cfg := core.Config{
-			Machine:     sim.Config{Seed: seed},
-			ClusterSize: 16,
-			LockKind:    locks.KindH2MCS,
-			Tracer:      ph.agg,
-		}
-		if moves != nil {
-			cfg.SlotModule = func(c, slot, def int) int {
-				if to, ok := moves[def]; ok {
-					return to
-				}
-				return def
-			}
-		}
-		sys := core.NewSystem(cfg)
-		ph.mm = locks.NewStats(sys.M, sys.K.VM.MMLock(0))
-		sys.K.VM.SetMMLock(0, ph.mm)
-		res := workload.IndependentFaults(sys, 4, 4, rounds)
-		ph.faultUS = res.Dist.Mean()
-		return ph
-	}
+	cell := hectorCell(seed)
 
 	// Phase A: trace the default placement (doubling as the baseline run —
 	// tracing and telemetry charge no simulated time).
-	base := run(nil)
-	rep := placement.Analyze(base.agg, topo, placement.DefaultCosts())
+	base := runPlacement(cell, rounds, nil, nil)
+	rep := placement.Analyze(base.agg, cell.topo, cell.costs)
 	moves := rep.Moves()
 
 	// Phase B: replay with the proposed homes.
-	placed := run(moves)
+	placed := runPlacement(cell, rounds, moves, nil)
 
-	row := func(name string, ph phase) (ringAcc uint64) {
-		total := ph.agg.AccessByDist[0] + ph.agg.AccessByDist[1] + ph.agg.AccessByDist[2]
-		ringAcc = ph.agg.AccessByDist[sim.DistRing]
-		ringPct := 0.0
-		if total > 0 {
-			ringPct = 100 * float64(ringAcc) / float64(total)
-		}
-		rpcObj := uint64(0)
-		rpcRing := uint64(0)
-		for _, o := range ph.agg.SortedObjects() {
-			if o.Span == sim.SpanRPC {
-				rpcObj += o.Count
-				rpcRing += o.ByDist[sim.DistRing]
-			}
-		}
-		rpcPct := 0.0
-		if rpcObj > 0 {
-			rpcPct = 100 * float64(rpcRing) / float64(rpcObj)
-		}
-		t.AddRow(name, f1(ph.faultUS), f1(ph.mm.AcquireUS.Mean()), f1(ringPct),
-			d(ringAcc), d(ph.mm.Handoffs[sim.DistRing]), f1(rpcPct))
-		t.AddMetric(fmt.Sprintf("%s.fault_mean", name), ph.faultUS, "us")
-		t.AddMetric(fmt.Sprintf("%s.mm_acquire_mean", name), ph.mm.AcquireUS.Mean(), "us")
-		t.AddMetric(fmt.Sprintf("%s.ring_accesses", name), float64(ringAcc), "count")
-		t.AddMetric(fmt.Sprintf("%s.ring_handoffs", name), float64(ph.mm.Handoffs[sim.DistRing]), "count")
-		return ringAcc
-	}
-	ringBase := row("baseline", base)
-	ringPlaced := row("placed", placed)
+	ringBase := placementReport(t, "", "baseline", base)
+	ringPlaced := placementReport(t, "", "placed", placed)
 
 	nmoves := len(moves)
 	reduction := 0.0

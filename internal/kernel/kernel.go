@@ -52,6 +52,12 @@ type Config struct {
 	// default module and returns the module to use. Trace-guided placement
 	// replays feed analyzer-proposed moves through this hook.
 	SlotModule func(c, slot, def int) int
+	// Migratable allocates every cluster's kernel-data slots in migratable
+	// memory regions (sim.Memory.NewRegion), so an online placement daemon
+	// can re-home them mid-run through Kernel.MigrateSlot. Off (the
+	// default), slots are plain static allocations and the memory system
+	// behaves exactly as before — runs are bit-identical to older builds.
+	Migratable bool
 }
 
 // Stats aggregates kernel-wide event counters.
@@ -62,6 +68,9 @@ type Stats struct {
 	DestroyRetries   uint64 // destruction restarts (reserve conflicts)
 	MsgRetries       uint64 // message-send restarts
 	Reestablishments uint64 // pessimistic re-validations of released state
+	Migrations       uint64 // online kernel-data slot migrations executed
+	MigratedWords    uint64 // words of kernel data copied by those migrations
+	MigrationCycles  uint64 // cycles stalled in migration copy bursts
 }
 
 // Kernel ties the subsystems together.

@@ -1,0 +1,84 @@
+package kernel
+
+import (
+	"fmt"
+
+	"hurricane/internal/locks"
+	"hurricane/internal/sim"
+)
+
+// SlotRef names one migratable kernel-data slot: cluster c's slot-th data
+// stripe, backed by a sim memory region whose physical home the online
+// placement daemon may move.
+type SlotRef struct {
+	Cluster int
+	Slot    int
+	// Region is the slot's virtual module id (≥ NumModules). Resolve its
+	// current physical home with Machine.Mem.Home(Region).
+	Region int
+}
+
+// Name labels the slot in reports and move logs.
+func (s SlotRef) Name() string { return fmt.Sprintf("c%d/slot%d", s.Cluster, s.Slot) }
+
+// MigratableSlots lists every kernel-data slot the daemon may migrate, in
+// (cluster, slot) order. Empty unless Config.Migratable is set.
+func (k *Kernel) MigratableSlots() []SlotRef {
+	v := k.VM
+	if v.slotRegions == nil {
+		return nil
+	}
+	var refs []SlotRef
+	for c, slots := range v.slotRegions {
+		for s, region := range slots {
+			refs = append(refs, SlotRef{Cluster: c, Slot: s, Region: region})
+		}
+	}
+	return refs
+}
+
+// migrationLock is the lock that guards a slot's data against concurrent
+// kernel use: the cluster's coarse memory-manager lock for the MM slots,
+// the address-space table's own lock for the AS slot. Holding it for the
+// duration of the copy is the paper-realistic "brief migration lock" — the
+// fault path stalls behind it exactly as it would behind any other holder.
+func (k *Kernel) migrationLock(c, slot int) locks.Lock {
+	if slot == 3 {
+		return k.VM.aspaces[c].Lock()
+	}
+	return k.VM.mmLocks[c]
+}
+
+// MigrateSlot re-homes cluster c's kernel-data slot onto physical module
+// `to`, charging the full cost to processor p: the slot's guarding lock is
+// held across a DMA-style copy burst that occupies the source module, the
+// interconnect along the path, and the destination module for one service
+// time per allocated word (sim.Memory.MigrateRegion). It reports the words
+// copied (0 if the slot already lives on `to`, in which case no lock is
+// taken and no cost is charged). Panics unless Config.Migratable is set.
+//
+// Call it from any processor context, including an IPI handler dispatched
+// through the Gate — the daemon's executor does exactly that, interrupting
+// the processor co-located with the slot's current home.
+func (k *Kernel) MigrateSlot(p *sim.Proc, c, slot, to int) int {
+	v := k.VM
+	if v.slotRegions == nil {
+		panic("kernel: MigrateSlot without Config.Migratable")
+	}
+	region := v.slotRegions[c][slot]
+	if k.M.Mem.Home(region) == to {
+		return 0
+	}
+	l := k.migrationLock(c, slot)
+	start := p.Now()
+	k.Gate.Enter(p)
+	l.Acquire(p)
+	words, cost := k.M.Mem.MigrateRegion(p, region, to)
+	l.Release(p)
+	k.Gate.Exit(p)
+	k.Stats.Migrations++
+	k.Stats.MigratedWords += uint64(words)
+	k.Stats.MigrationCycles += uint64(cost)
+	k.M.EmitSpan(sim.SpanMigrate, "migrate", p.ID(), start, p.Now(), to, uint64(words))
+	return words
+}

@@ -79,6 +79,13 @@ type VM struct {
 	// lock waiters slow this work down — the second-order effect.
 	scratch [][]sim.Addr
 
+	// slotRegions[c][slot], present only under Config.Migratable, is the
+	// sim memory region each kernel-data slot was allocated in. slotModule
+	// then hands the region id (a virtual module number) to every
+	// allocation, so re-pointing the region's home migrates the slot's
+	// lock words, table buckets and scratch data together.
+	slotRegions [][]int
+
 	ptes        map[uint64]map[int]sim.Addr
 	nextPrivate uint64
 }
@@ -87,6 +94,25 @@ func newVM(k *Kernel) *VM {
 	v := &VM{
 		k:    k,
 		ptes: make(map[uint64]map[int]sim.Addr),
+	}
+	if k.cfg.Migratable {
+		// Regions are created before any slot allocation so every
+		// kernel-data word of slot s lands inside region slotRegions[c][s].
+		// Each region's initial home is the slot's resolved static placement
+		// (topology default, or the SlotModule replay override), so a
+		// daemonless migratable run starts from the same layout a static
+		// run uses.
+		v.slotRegions = make([][]int, k.Topo.N)
+		for c := 0; c < k.Topo.N; c++ {
+			v.slotRegions[c] = make([]int, slotsPerCluster)
+			for s := 0; s < slotsPerCluster; s++ {
+				def := k.Topo.SlotModule(c, s)
+				if f := k.cfg.SlotModule; f != nil {
+					def = f(c, s, def)
+				}
+				v.slotRegions[c][s] = k.M.Mem.NewRegion(def)
+			}
+		}
 	}
 	v.mmLocks = make([]locks.Lock, k.Topo.N)
 	mmModule := func(c int) int { return v.slotModule(c, 0) }
@@ -119,10 +145,20 @@ func newVM(k *Kernel) *VM {
 	return v
 }
 
-// slotModule resolves where cluster c's kernel-data slot lives, applying
-// the Config.SlotModule placement override (trace-guided replays) over the
-// topology's default.
+// slotsPerCluster is the number of distinct kernel-data slots a cluster
+// stripes across its modules: the memory-manager lock + tables (0), two
+// scratch-only slots (1, 2), and the address-space table (3).
+const slotsPerCluster = 4
+
+// slotModule resolves where cluster c's kernel-data slot lives. Under
+// Config.Migratable it is the slot's region id — a virtual module whose
+// physical home the online daemon may re-point; otherwise it is a static
+// physical module, applying the Config.SlotModule placement override
+// (trace-guided replays) over the topology's default.
 func (v *VM) slotModule(c, slot int) int {
+	if v.slotRegions != nil {
+		return v.slotRegions[c][slot]
+	}
 	def := v.k.Topo.SlotModule(c, slot)
 	if f := v.k.cfg.SlotModule; f != nil {
 		return f(c, slot, def)

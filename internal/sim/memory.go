@@ -75,7 +75,14 @@ type Memory struct {
 	buses   []Resource
 	ring    Resource
 
+	// data holds one word slice per address-space index: the physical
+	// modules first, then any migratable regions (see NewRegion). homes maps
+	// each index to the physical module currently backing it — an identity
+	// prefix for the physical modules themselves, and the migration target
+	// for regions. Re-pointing a region's home entry IS the migration; the
+	// words never move, only the traffic does.
 	data     [][]uint64
+	homes    []int
 	watchers map[Addr]watchList
 }
 
@@ -98,11 +105,13 @@ func newMemory(eng *Engine, nStations, procsPerStation int, lat Latency) *Memory
 		data:            make([][]uint64, n),
 		watchers:        make(map[Addr]watchList),
 	}
+	m.homes = make([]int, n)
 	for i := range m.modules {
 		m.modules[i].Name = fmt.Sprintf("module%d", i)
 		// Offset 0 of module 0 would be Addr(0) == nil; burn offset 0 of
 		// every module so allocations never alias the nil address.
 		m.data[i] = append(m.data[i], 0)
+		m.homes[i] = i
 	}
 	for i := range m.buses {
 		m.buses[i].Name = fmt.Sprintf("bus%d", i)
@@ -113,6 +122,86 @@ func newMemory(eng *Engine, nStations, procsPerStation int, lat Latency) *Memory
 
 // NumModules reports the number of processor-memory modules.
 func (m *Memory) NumModules() int { return len(m.modules) }
+
+// NewRegion creates a migratable memory region homed on the given physical
+// module and returns its region id — a virtual module number ≥ NumModules
+// that Alloc and every access accept exactly like a physical module.
+// Addresses in a region are stable for the region's lifetime; MigrateRegion
+// re-points which physical module serves them.
+func (m *Memory) NewRegion(phys int) int {
+	if phys < 0 || phys >= len(m.modules) {
+		panic(fmt.Sprintf("sim: NewRegion on module %d of %d", phys, len(m.modules)))
+	}
+	id := len(m.data)
+	// Burn offset 0 like the physical modules, so Addr 0 stays the nil
+	// pointer and word() needs no region special case.
+	m.data = append(m.data, []uint64{0})
+	m.homes = append(m.homes, phys)
+	return id
+}
+
+// Home resolves an address-space index (physical module or region id) to
+// the physical module currently backing it. Indices outside the address
+// space — notably the -1 "no home" convention — pass through unchanged.
+func (m *Memory) Home(i int) int {
+	if i < 0 || i >= len(m.homes) {
+		return i
+	}
+	return m.homes[i]
+}
+
+// RegionWords reports the number of allocated words in a region (or
+// module), i.e. the copy traffic a migration of it would generate.
+func (m *Memory) RegionWords(id int) int {
+	if id < 0 || id >= len(m.data) {
+		panic(fmt.Sprintf("sim: RegionWords of invalid id %d", id))
+	}
+	return len(m.data[id]) - 1 // offset 0 is burned, not data
+}
+
+// MigrateRegion moves a region's physical home to module `to`, charging the
+// copy as a pipelined DMA burst: every allocated word occupies the source
+// module, the buses and ring along the path, and the destination module for
+// one service time each, and the migrating processor stalls until the last
+// word lands. The burst queues at the same resources as ordinary accesses,
+// so a migration both suffers and causes interconnect contention, but it
+// emits no per-word trace events (the copy is mechanism, not workload — it
+// must not pollute the access matrices that placement decisions feed on).
+// It reports the words copied and the stall charged to p. Migrating to the
+// current home is free. Physical modules cannot migrate.
+func (m *Memory) MigrateRegion(p *Proc, region, to int) (words int, cost Duration) {
+	if region < len(m.modules) || region >= len(m.data) {
+		panic(fmt.Sprintf("sim: MigrateRegion of non-region %d", region))
+	}
+	if to < 0 || to >= len(m.modules) {
+		panic(fmt.Sprintf("sim: MigrateRegion to invalid module %d", to))
+	}
+	from := m.homes[region]
+	words = len(m.data[region]) - 1
+	if from == to || words == 0 {
+		m.homes[region] = to
+		return words, 0
+	}
+	now := m.eng.Now()
+	w := Duration(words)
+	t := m.modules[from].Acquire(now, m.lat.ModuleService*w)
+	var base Duration
+	if m.stationOf(from) == m.stationOf(to) {
+		base = m.lat.Station
+		t = m.buses[m.stationOf(to)].Acquire(t, m.lat.BusService*w)
+	} else {
+		base = m.lat.Ring
+		t = m.buses[m.stationOf(from)].Acquire(t, m.lat.BusService*w)
+		t = m.ring.Acquire(t, m.lat.RingService*w)
+		t = m.buses[m.stationOf(to)].Acquire(t, m.lat.BusService*w)
+	}
+	t = m.modules[to].Acquire(t, m.lat.ModuleService*w)
+	done := t + m.lat.ModuleService*w + base
+	m.homes[region] = to
+	cost = done - now
+	p.Think(cost)
+	return words, cost
+}
 
 func (m *Memory) stationOf(module int) int { return module / m.procsPerStation }
 
@@ -160,7 +249,8 @@ func (m *Memory) Poke(a Addr, v uint64) {
 }
 
 // Module exposes a module's resource counters (utilization statistics).
-func (m *Memory) Module(i int) *Resource { return &m.modules[i] }
+// Region ids resolve to the module currently backing them.
+func (m *Memory) Module(i int) *Resource { return &m.modules[m.Home(i)] }
 
 // Bus exposes a station bus's resource counters.
 func (m *Memory) Bus(i int) *Resource { return &m.buses[i] }
@@ -212,7 +302,7 @@ var accessNames = [...]string{accLoad: "load", accStore: "store", accSwap: "swap
 
 func (m *Memory) access(p *Proc, a Addr, kind accessKind, operand, expect uint64) (old uint64, done Time, ok bool) {
 	src := p.module
-	dst := a.Module()
+	dst := m.homes[a.Module()] // resolve region → current physical home
 	now := m.eng.Now()
 	t := now
 

@@ -28,8 +28,11 @@ func (d DistClass) String() string {
 }
 
 // Distance classifies the topological distance from module src to module
-// dst given the machine's station grouping.
+// dst given the machine's station grouping. Region ids resolve to the
+// physical module currently backing them, so the class reflects where the
+// words live right now, not where they were first allocated.
 func (m *Memory) Distance(src, dst int) DistClass {
+	src, dst = m.Home(src), m.Home(dst)
 	switch {
 	case src == dst:
 		return DistLocal
@@ -108,6 +111,9 @@ const (
 	// SpanIPI covers the handler side of an RPC: the IPI handler's
 	// execution on the target processor.
 	SpanIPI
+	// SpanMigrate covers an online migration of a kernel-data region: the
+	// copy burst plus the brief migration lock hold. Arg is the words moved.
+	SpanMigrate
 )
 
 // String names the span kind for trace args and aggregation keys.
@@ -133,6 +139,8 @@ func (k SpanKind) String() string {
 		return "rpc.call"
 	case SpanIPI:
 		return "rpc.serve"
+	case SpanMigrate:
+		return "vm.migrate"
 	}
 	return fmt.Sprintf("SpanKind(%d)", int(k))
 }
@@ -140,7 +148,7 @@ func (k SpanKind) String() string {
 // SpanKindFromString inverts String (trace files round-trip through JSON).
 // Unknown names map to SpanNone.
 func SpanKindFromString(s string) SpanKind {
-	for k := SpanNone; k <= SpanIPI; k++ {
+	for k := SpanNone; k <= SpanMigrate; k++ {
 		if k.String() == s {
 			return k
 		}
@@ -197,12 +205,16 @@ func (m *Machine) Tracing() bool { return m.Eng.tracer != nil }
 
 // EmitSpan forwards a typed span to the installed tracer, computing the
 // src→dst distance class from the emitting processor's module and the
-// object's home module (dst may be -1 when the object has no home). It
+// object's home module (dst may be -1 when the object has no home; a
+// region id is resolved to the physical module currently backing it). It
 // charges no simulated time.
 func (m *Machine) EmitSpan(kind SpanKind, name string, proc int, start, end Time, dst int, arg uint64) {
 	t := m.Eng.tracer
 	if t == nil {
 		return
+	}
+	if dst >= 0 {
+		dst = m.Mem.Home(dst)
 	}
 	ev := TraceEvent{Kind: EvSpan, Span: kind, Name: name, Proc: proc,
 		Start: start, End: end, Src: proc, Dst: dst, Arg: arg}

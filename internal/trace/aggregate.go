@@ -20,6 +20,13 @@ type Aggregate struct {
 	Access [][]uint64
 	// AccessByDist totals accesses by distance class.
 	AccessByDist [3]uint64
+	// RegionAccess[region][src] counts accesses addressed to a migratable
+	// region (virtual module id ≥ modules, recovered from the event's raw
+	// address) by accessor module src. Two regions sharing one physical
+	// home stay distinguishable here, which is what lets the online
+	// placement daemon move them independently; the matrices above fold the
+	// same traffic into the physical home for distance accounting.
+	RegionAccess map[int][]uint64
 	// EventCount totals events by kind (EvAccess..EvInstant).
 	EventCount map[sim.EventKind]uint64
 	// Objects accumulates span statistics keyed by (span kind, name, home).
@@ -71,6 +78,17 @@ func (a *Aggregate) Event(ev sim.TraceEvent) {
 		if ev.Src >= 0 && ev.Src < a.modules && ev.Dst >= 0 && ev.Dst < a.modules {
 			a.Access[ev.Dst][ev.Src]++
 			a.AccessByDist[ev.Dist]++
+			if id := sim.Addr(ev.Arg).Module(); id >= a.modules {
+				vec := a.RegionAccess[id]
+				if vec == nil {
+					if a.RegionAccess == nil {
+						a.RegionAccess = make(map[int][]uint64)
+					}
+					vec = make([]uint64, a.modules)
+					a.RegionAccess[id] = vec
+				}
+				vec[ev.Src]++
+			}
 		}
 	case sim.EvSpan:
 		key := ObjKey{Span: ev.Span, Name: ev.Name, Home: ev.Dst}

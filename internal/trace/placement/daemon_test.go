@@ -1,0 +1,142 @@
+package placement_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hurricane/internal/core"
+	"hurricane/internal/locks"
+	"hurricane/internal/sim"
+	"hurricane/internal/trace"
+	"hurricane/internal/trace/placement"
+	"hurricane/internal/workload"
+)
+
+// daemonRun executes the station-0 faulter workload with the online daemon
+// attached and returns a fingerprint covering everything observable: move
+// log, migration counters, fault latency, and final simulated time.
+func daemonRun(seed uint64) string {
+	agg := trace.NewAggregate(16)
+	sys := core.NewSystem(core.Config{
+		Machine:     sim.Config{Seed: seed},
+		ClusterSize: 16,
+		LockKind:    locks.KindH2MCS,
+		Tracer:      agg,
+		Migratable:  true,
+	})
+	d := placement.NewDaemon(sys.M, agg, placement.Topo{Stations: 4, ProcsPerStation: 4},
+		placement.DefaultCosts(),
+		placement.DaemonParams{Period: sim.Micros(25), Decay: 0.9, MinWeight: 0.25, Confirm: 3},
+		placement.ManageKernel(sys.K))
+	d.Start()
+	res := workload.IndependentFaults(sys, 4, 4, 6)
+	return fmt.Sprintf("%s|mig=%d words=%d cycles=%d|fault=%.6f|end=%v",
+		d.Report(), res.Stats.Migrations, res.Stats.MigratedWords,
+		res.Stats.MigrationCycles, res.Dist.Mean(), sys.M.Eng.Now())
+}
+
+// The daemon is part of the deterministic simulation: identical seeds must
+// produce byte-identical runs, moves and all.
+func TestDaemonDeterminism(t *testing.T) {
+	a, b := daemonRun(1), daemonRun(1)
+	if a != b {
+		t.Fatalf("two identical daemon runs diverged:\n%s\n---\n%s", a, b)
+	}
+}
+
+// An already-optimal layout gives the daemon nothing to do: zero moves,
+// zero migrations, zero charged cost — so enabling it on a well-placed
+// system is free.
+func TestDaemonNoOpOnOptimalLayout(t *testing.T) {
+	agg := trace.NewAggregate(16)
+	sys := core.NewSystem(core.Config{
+		Machine:     sim.Config{Seed: 1},
+		ClusterSize: 16,
+		LockKind:    locks.KindH2MCS,
+		Tracer:      agg,
+		Migratable:  true,
+		// Pre-place every slot inside station 0, where all the faulters
+		// run: the blended access vector then costs the same at any
+		// station-0 module, which is inside the indifference band.
+		SlotModule: func(c, slot, def int) int { return slot },
+	})
+	d := placement.NewDaemon(sys.M, agg, placement.Topo{Stations: 4, ProcsPerStation: 4},
+		placement.DefaultCosts(),
+		placement.DaemonParams{Period: sim.Micros(25), Decay: 0.9, MinWeight: 0.25, Confirm: 3},
+		placement.ManageKernel(sys.K))
+	d.Start()
+	res := workload.IndependentFaults(sys, 4, 4, 8)
+	if n := len(d.Moves()); n != 0 {
+		t.Fatalf("daemon made %d moves on an optimal layout:\n%s", n, d.Report())
+	}
+	if res.Stats.Migrations != 0 || res.Stats.MigrationCycles != 0 {
+		t.Fatalf("charged %d migrations / %d cycles on an optimal layout",
+			res.Stats.Migrations, res.Stats.MigrationCycles)
+	}
+}
+
+// An adversarial workload that oscillates between stations faster than any
+// placement can pay off must be contained by the per-slot budget: the
+// daemon may be wrong, but only Budget times.
+func TestDaemonThrashBudget(t *testing.T) {
+	const budget = 3
+	m := sim.NewMachine(sim.Config{Seed: 1})
+	agg := trace.NewAggregate(16)
+	m.SetTracer(agg)
+	region := m.Mem.NewRegion(0)
+	data := m.Alloc(region, 4)
+	d := placement.NewDaemon(m, agg, placement.Topo{Stations: 4, ProcsPerStation: 4},
+		placement.DefaultCosts(),
+		placement.DaemonParams{
+			Period:    sim.Micros(25),
+			Decay:     0.9,
+			MinWeight: 0.25,
+			Confirm:   2,
+			Budget:    budget,
+			Cooldown:  sim.Micros(50), // deliberately permissive: let it try
+			Exec:      func(int) int { return 0 },
+		},
+		[]placement.DaemonSlot{{
+			Name:   "data",
+			Region: region,
+			Migrate: func(p *sim.Proc, to int) {
+				m.Mem.MigrateRegion(p, region, to)
+			},
+		}})
+	d.Start()
+
+	// Processors 0 (station 0) and 12 (station 3) alternate hammering the
+	// region in 200us phases — long enough for the daemon to commit to each
+	// station before the traffic flips away again.
+	hammer := func(active bool, p *sim.Proc) {
+		deadline := p.Now() + sim.Time(sim.Micros(200))
+		for p.Now() < deadline {
+			if active {
+				p.Store(data, uint64(p.ID()))
+			} else {
+				p.Think(50)
+			}
+		}
+	}
+	const phases = 12
+	m.Go(0, func(p *sim.Proc) {
+		for ph := 0; ph < phases; ph++ {
+			hammer(ph%2 == 0, p)
+		}
+		p.Think(sim.Micros(100)) // outlive proc 12: it is the IPI executor
+	})
+	m.Go(12, func(p *sim.Proc) {
+		for ph := 0; ph < phases; ph++ {
+			hammer(ph%2 == 1, p)
+		}
+	})
+	m.RunAll()
+	m.Shutdown()
+
+	if n := d.SlotMoves("data"); n > budget {
+		t.Fatalf("oscillating workload drove %d moves, budget is %d:\n%s", n, budget, d.Report())
+	}
+	if len(d.Moves()) == 0 {
+		t.Fatal("daemon never moved at all — the oscillation was not observed")
+	}
+}

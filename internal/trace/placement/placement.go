@@ -1,9 +1,25 @@
-// Package placement turns an aggregated trace into placement advice: given
-// who accessed what (accessor module × home module, weighted by distance
-// class), it proposes the home module for each piece of kernel data — and
-// each lock — that minimizes ring crossings, the paper's dominant cost.
-// Proposals are advisory; exp.Placement replays a workload with them
-// applied and measures the actual reduction.
+// Package placement turns an aggregated trace into placement advice — and,
+// with the Daemon, into in-run action. Given who accessed what (accessor
+// module × home module, weighted by distance class), the analyzer proposes
+// the home module for each piece of kernel data — and each lock — that
+// minimizes ring crossings, the paper's dominant cost.
+//
+// The advice is consumed two ways. Offline, proposals are advisory:
+// exp.Placement replays a workload with them applied (kernel SlotModule
+// overrides) and measures the actual reduction. Online, the Daemon watches
+// the live trace.Aggregate during the run and executes the same analyzer's
+// proposals mid-run through the kernel's slot-migration path, paying the
+// copy cost the replay avoids but needing no second run — exp.PlacementOnline
+// measures when that trade wins.
+//
+// The Daemon shares its controller pattern with internal/tune's lock
+// tuner: a fixed sim.Engine.Every sampling cadence that charges no
+// simulated time, EWMA smoothing of the windowed signal, and
+// act-only-past-a-threshold hysteresis. Where the tuner's saturation band
+// guards a free actuation (publishing a backoff constant), the daemon's
+// indifference band, confirmation streak, payback horizon, and per-slot
+// budgets guard an expensive one (a data copy through the simulated
+// memory system). See the tune package comment for the shared shape.
 package placement
 
 import (
@@ -130,7 +146,7 @@ func Analyze(agg *trace.Aggregate, topo Topo, costs Costs) *Report {
 		return items[i].home < items[j].home
 	})
 	for _, it := range items {
-		p := propose(fmt.Sprintf("module %d data", it.home), it.home, it.vector, topo, costs, load)
+		p := propose(fmt.Sprintf("module %d data", it.home), it.home, it.vector, topo, costs, load, keepEpsilon)
 		if p.Moved() {
 			load[p.Proposed] += float64(it.total)
 			load[p.Home] -= float64(it.total)
@@ -145,15 +161,17 @@ func Analyze(agg *trace.Aggregate, topo Topo, costs Costs) *Report {
 			continue
 		}
 		name := strings.TrimPrefix(o.Name, "wait ")
-		p := propose(fmt.Sprintf("lock %q", name), o.Home, o.BySrc, topo, costs, load)
+		p := propose(fmt.Sprintf("lock %q", name), o.Home, o.BySrc, topo, costs, load, keepEpsilon)
 		r.Locks = append(r.Locks, p)
 	}
 	return r
 }
 
-// propose picks the cost-minimizing home for one access vector, with the
-// keep-epsilon indifference band and least-projected-load tie-breaking.
-func propose(object string, home int, vector []uint64, topo Topo, costs Costs, load []float64) Proposal {
+// propose picks the cost-minimizing home for one access vector, with an
+// eps-wide indifference band and least-projected-load tie-breaking. The
+// offline analyzer uses keepEpsilon; the online Daemon passes its (wider)
+// Improve band, since an in-run move charges real copy traffic.
+func propose(object string, home int, vector []uint64, topo Topo, costs Costs, load []float64, eps float64) Proposal {
 	n := len(load)
 	cost := func(cand int) float64 {
 		var c float64
@@ -185,13 +203,13 @@ func propose(object string, home int, vector []uint64, topo Topo, costs Costs, l
 	// Keep the current home when it is within the indifference band of the
 	// optimum; otherwise pick the least-loaded candidate within the band.
 	choice := home
-	if cur > bestCost*(1+keepEpsilon) {
+	if cur > bestCost*(1+eps) {
 		choice = best
 		for cand := 0; cand < n; cand++ {
 			if cand == choice {
 				continue
 			}
-			if cost(cand) <= bestCost*(1+keepEpsilon) && load[cand] < load[choice] {
+			if cost(cand) <= bestCost*(1+eps) && load[cand] < load[choice] {
 				choice = cand
 			}
 		}

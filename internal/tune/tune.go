@@ -28,6 +28,17 @@
 // (time, sequence) discipline as all simulation events and consume no
 // simulated time, so attaching a tuner changes nothing about a run except
 // through the decisions it publishes.
+//
+// This package and trace/placement's online Daemon are two instances of
+// one controller pattern: sample at a fixed Engine.Every cadence, smooth
+// the windowed signal with an EWMA (both default to 0.75 retention — NUMA
+// traffic and lock waits are equally bursty per window), and act only past
+// a threshold with hysteresis (the utilization saturation/relief band
+// here; the cost-improvement indifference band plus confirmation streak
+// there). The difference is the actuator: this controller publishes
+// constants (backoff cap, lock mode), which are free to change, while the
+// placement daemon moves kernel data, which charges real copy traffic —
+// hence its extra payback and budget guards.
 package tune
 
 import (

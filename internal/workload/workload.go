@@ -137,6 +137,9 @@ type LockStressObserved struct {
 	Resources []ResourceUtil
 	// HomeModule indexes the lock's home module within Resources.
 	HomeModule int
+	// DataRegion is the protected data's migratable region id when the run
+	// was configured with StressConfig.Region, -1 otherwise.
+	DataRegion int
 }
 
 // StressConfig parameterizes a lock stress run (the Figure 5 loop) on an
@@ -164,6 +167,15 @@ type StressConfig struct {
 	Home int
 	// Tracer, when non-nil, observes the whole run including warm-up.
 	Tracer sim.Tracer
+	// Region, when set, allocates the protected data in a migratable sim
+	// memory region (initially homed at Home) instead of directly on the
+	// home module, and records its id in the result's DataRegion — the
+	// handle an online placement daemon needs to re-home the data mid-run.
+	Region bool
+	// Attach, when non-nil, runs after the machine, lock, and data exist
+	// but before any processor starts — the hook lockstat uses to install
+	// a placement daemon over DataRegion.
+	Attach func(r *LockStressObserved)
 }
 
 // LockStressInstrumented runs the LockStress experiment with warmup
@@ -195,7 +207,13 @@ func LockStressRun(cfg StressConfig) *LockStressObserved {
 		mk = func(m *sim.Machine, home int) locks.Lock { return locks.New(m, cfg.Kind, home) }
 	}
 	l := locks.NewStats(m, mk(m, home))
-	data := m.Alloc(home, 8)
+	dataHome := home
+	dataRegion := -1
+	if cfg.Region {
+		dataRegion = m.Mem.NewRegion(home)
+		dataHome = dataRegion
+	}
+	data := m.Alloc(dataHome, 8)
 	holdWork := func(p *sim.Proc, h sim.Duration) {
 		chunk := sim.Micros(2)
 		for h >= chunk {
@@ -205,7 +223,10 @@ func LockStressRun(cfg StressConfig) *LockStressObserved {
 		}
 		p.Think(h)
 	}
-	res := &LockStressObserved{M: m, Lock: l, HomeModule: home}
+	res := &LockStressObserved{M: m, Lock: l, HomeModule: home, DataRegion: dataRegion}
+	if cfg.Attach != nil {
+		cfg.Attach(res)
+	}
 	dist := &stats.Dist{}
 	bar := NewBarrier(cfg.Procs)
 	windowOpen := false
