@@ -19,8 +19,14 @@ test:
 # The simulated locks run single-threaded by construction, but the parallel
 # experiment harness (exp.RunParallel / hurricane-bench -jobs) and the
 # native lock ports are real Go concurrency: keep them provably race-free.
+# The hierarchical locks (cohort, CNA) get a second, repeated pass: their
+# correctness rests on holder-private state being published by the grant
+# hand-off, and that discipline only trips the race detector on schedules
+# where goroutines actually interleave at the hand-off — more runs, more
+# schedules.
 race:
 	$(GO) test -race ./internal/native/... ./internal/exp/... ./internal/workload/...
+	$(GO) test -race -count=2 -run 'Cohort|CNA|CrossValidation' ./internal/native/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

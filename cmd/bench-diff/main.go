@@ -7,7 +7,12 @@
 // Metrics with unit "us" are latencies (lower is better): the comparator
 // fails if any grows more than -tolerance (default 5%) over the baseline.
 // Other units (ratios, fractions, counts) are informational — printed when
-// they drift, never fatal — as is any metric present on only one side.
+// they drift, never fatal. A metric present only in the baseline is a
+// non-fatal MISSING drift, but a metric present only in the current run is
+// fatal: it means the checked-in baseline was not regenerated for a new
+// experiment, so the new numbers would silently escape regression tracking
+// forever after. Pass -allow-new to downgrade that to informational (for
+// ad-hoc comparisons against an intentionally older baseline).
 // The simulation is deterministic for a fixed seed, so an unchanged tree
 // diffs exactly; any delta at all is a real behavior change.
 package main
@@ -18,6 +23,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
+	"strings"
 
 	"hurricane/internal/exp"
 )
@@ -50,6 +57,7 @@ func main() {
 	basePath := flag.String("baseline", "BENCH_sim.baseline.json", "checked-in baseline summary")
 	curPath := flag.String("current", "BENCH_sim.json", "freshly generated summary")
 	tol := flag.Float64("tolerance", 0.05, "fractional regression allowed on us-unit metrics")
+	allowNew := flag.Bool("allow-new", false, "tolerate current-run metrics absent from the baseline")
 	flag.Parse()
 
 	base, err := load(*basePath)
@@ -100,16 +108,27 @@ func main() {
 				name, b.Value, b.Unit, c.Value, c.Unit, delta)
 		}
 	}
-	for name, c := range cm {
+	var newKeys []string
+	for name := range cm {
 		if _, ok := bm[name]; !ok {
-			fmt.Printf("new      %-50s %.3f%s (not in baseline)\n", name, c.Value, c.Unit)
+			newKeys = append(newKeys, name)
 		}
 	}
+	sort.Strings(newKeys)
+	for _, name := range newKeys {
+		c := cm[name]
+		fmt.Printf("NEW      %-50s %.3f%s (not in baseline)\n", name, c.Value, c.Unit)
+	}
 
-	fmt.Printf("bench-diff: %d metrics compared, %d regressions, %d improvements, %d drifts\n",
-		len(bm), regressions, improved, drifts)
+	fmt.Printf("bench-diff: %d metrics compared, %d regressions, %d improvements, %d drifts, %d new\n",
+		len(bm), regressions, improved, drifts, len(newKeys))
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "bench-diff: FAIL: %d metric(s) regressed more than %.0f%%\n", regressions, *tol*100)
+		os.Exit(1)
+	}
+	if len(newKeys) > 0 && !*allowNew {
+		fmt.Fprintf(os.Stderr, "bench-diff: FAIL: %d metric(s) missing from the baseline: %s\n", len(newKeys), strings.Join(newKeys, ", "))
+		fmt.Fprintf(os.Stderr, "bench-diff: regenerate it (make bench-baseline) or pass -allow-new\n")
 		os.Exit(1)
 	}
 }

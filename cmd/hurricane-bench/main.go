@@ -111,6 +111,7 @@ func main() {
 		{"lockfree", func() *exp.Table { return exp.LockFree(*seed, rounds(40, 15)) }},
 		{"scaling", func() *exp.Table { return exp.Scaling(*seed, rounds(10, 4)) }},
 		{"tuned", func() *exp.Table { return exp.TunedCrossover(*seed, rounds(40, 10)) }},
+		{"cohort", func() *exp.Table { return exp.CohortSweep(*seed, rounds(40, 10)) }},
 	}
 
 	var re *regexp.Regexp

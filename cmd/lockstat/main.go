@@ -50,6 +50,8 @@ var kinds = map[string]locks.Kind{
 	"clh":      locks.KindCLH,
 	"adaptive": locks.KindAdaptive,
 	"tuned":    locks.KindTuned,
+	"cohort":   locks.KindCohort,
+	"cna":      locks.KindCNA,
 }
 
 var machines = map[string]struct {
@@ -62,7 +64,7 @@ var machines = map[string]struct {
 }
 
 func main() {
-	lock := flag.String("lock", "h2mcs", "mcs | h1mcs | h2mcs | spin | spin2ms | clh | adaptive | tuned")
+	lock := flag.String("lock", "h2mcs", "mcs | h1mcs | h2mcs | spin | spin2ms | clh | adaptive | tuned | cohort | cna")
 	tuned := flag.Bool("tune", false, "shorthand for -lock tuned; prints the controller's decision log")
 	machineName := flag.String("machine", "hector16", "hector16 | numachine64")
 	procs := flag.Int("procs", 16, "contending processors")
@@ -81,7 +83,7 @@ func main() {
 	}
 	kind, ok := kinds[*lock]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown lock %q; choose one of mcs, h1mcs, h2mcs, spin, spin2ms, clh, adaptive, tuned\n", *lock)
+		fmt.Fprintf(os.Stderr, "unknown lock %q; choose one of mcs, h1mcs, h2mcs, spin, spin2ms, clh, adaptive, tuned, cohort, cna\n", *lock)
 		os.Exit(2)
 	}
 	mc, ok := machines[*machineName]

@@ -85,6 +85,12 @@ const (
 	// KindTuned is the adaptive lock with its constants driven by a
 	// tune.Controller fed from measured home-module utilization.
 	KindTuned
+	// KindCohort is the hierarchical cohort lock: per-station local locks
+	// plus a global lock, with batched local hand-offs.
+	KindCohort
+	// KindCNA is the compact NUMA-aware queue lock: one MCS-style queue
+	// reordered by station at release.
+	KindCNA
 )
 
 // String returns the label used in tables and figures.
@@ -106,6 +112,10 @@ func (k Kind) String() string {
 		return "Adaptive"
 	case KindTuned:
 		return "Tuned"
+	case KindCohort:
+		return "Cohort"
+	case KindCNA:
+		return "CNA"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -131,6 +141,10 @@ func New(m *sim.Machine, k Kind, home int) Lock {
 		return NewAdaptive(m, home)
 	case KindTuned:
 		return NewTuned(m, home, tune.Params{})
+	case KindCohort:
+		return NewCohort(m, home)
+	case KindCNA:
+		return NewCNA(m, home)
 	}
 	panic("locks: unknown kind")
 }

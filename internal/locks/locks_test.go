@@ -45,7 +45,7 @@ func exclusionStress(t *testing.T, mk func(*sim.Machine) Lock, seed uint64, npro
 
 func allKinds() []Kind {
 	return []Kind{KindMCS, KindH1MCS, KindH2MCS, KindSpin, KindSpin2ms, KindCLH,
-		KindAdaptive, KindTuned}
+		KindAdaptive, KindTuned, KindCohort, KindCNA}
 }
 
 func TestMutualExclusionAllKinds(t *testing.T) {

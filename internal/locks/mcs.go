@@ -50,21 +50,42 @@ type MCS struct {
 	m       *sim.Machine
 	variant Variant
 	lock    sim.Addr   // tail of the waiter queue; 0 when free
-	nodes   []sim.Addr // per-processor queue nodes (local memory)
+	nodes   []sim.Addr // queue nodes, one per slot (local memory)
+	slot    []int      // proc id -> node index (identity for per-proc locks)
 }
 
 // NewMCS builds a distributed lock whose lock word lives on module home.
 // Queue nodes are allocated in each processor's local memory and, for the
 // H1/H2 variants, pre-initialized (next=0, locked=1) as the paper requires.
 func NewMCS(m *sim.Machine, home int, v Variant) *MCS {
+	homes := make([]int, m.NumProcs())
+	slot := make([]int, m.NumProcs())
+	for i := range homes {
+		homes[i] = i
+		slot[i] = i
+	}
+	return newMCSSlots(m, home, v, homes, slot)
+}
+
+// newMCSSlots builds an MCS lock whose queue nodes are shared state indexed
+// by slot rather than strictly per processor: nodeHomes[s] is the module
+// slot s's node lives on, and slot[id] maps each processor to its slot.
+// The cohort lock uses one slot per station for its global lock, so the
+// global acquisition a station representative made can be released by a
+// different processor of the same station after a batch of local
+// hand-offs. Callers must guarantee at most one processor per slot uses
+// the lock at a time — exactly what holding the station's local lock
+// provides.
+func newMCSSlots(m *sim.Machine, home int, v Variant, nodeHomes, slot []int) *MCS {
 	l := &MCS{
 		m:       m,
 		variant: v,
 		lock:    m.Alloc(home, 1),
-		nodes:   make([]sim.Addr, m.NumProcs()),
+		nodes:   make([]sim.Addr, len(nodeHomes)),
+		slot:    slot,
 	}
-	for i := range l.nodes {
-		n := m.Alloc(i, 2)
+	for i, h := range nodeHomes {
+		n := m.Alloc(h, 2)
 		l.nodes[i] = n
 		if v != VariantOriginal {
 			// Pre-initialization outside the critical path (H1).
@@ -81,7 +102,7 @@ func (l *MCS) Name() string { return l.variant.String() }
 func (l *MCS) Home() int { return l.lock.Module() }
 
 // NodeOf exposes the queue node address of processor id (for tests).
-func (l *MCS) NodeOf(id int) sim.Addr { return l.nodes[id] }
+func (l *MCS) NodeOf(id int) sim.Addr { return l.nodes[l.slot[id]] }
 
 // Word exposes the lock word address (for tests).
 func (l *MCS) Word() sim.Addr { return l.lock }
@@ -90,7 +111,7 @@ func (l *MCS) Word() sim.Addr { return l.lock }
 // the paper counted in Figure 4: the uncontended path of the original
 // variant is 1 atomic + 1 mem + 1 reg + 2 br; H1/H2 drop the mem.
 func (l *MCS) Acquire(p *sim.Proc) {
-	i := l.nodes[p.ID()]
+	i := l.nodes[l.slot[p.ID()]]
 	if l.variant == VariantOriginal {
 		p.Store(i+qnNext, 0) // I->next := nil (init in critical path)
 	}
@@ -116,7 +137,7 @@ func (l *MCS) Acquire(p *sim.Proc) {
 
 // Release implements Lock.
 func (l *MCS) Release(p *sim.Proc) {
-	i := l.nodes[p.ID()]
+	i := l.nodes[l.slot[p.ID()]]
 	if l.variant == VariantH2 {
 		l.releaseH2(p, i)
 		return

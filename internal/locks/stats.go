@@ -35,7 +35,12 @@ type Stats struct {
 	// MaxQueueDepth is the largest depth including the new arrival.
 	MaxQueueDepth int
 	// Handoffs counts lock transfers by topological distance from the
-	// previous holder; the first acquisition of a window is not counted.
+	// previous holder. Only contended transfers count: the first
+	// acquisition of a window and any acquisition following an uncontended
+	// release (nobody was waiting, so nothing was handed to anybody) are
+	// not hand-offs. Under continuous contention every acquisition after
+	// the first is a hand-off, so the three counters sum to
+	// Acquisitions-1.
 	Handoffs [3]uint64 // indexed by sim.DistClass
 
 	waiting    int
@@ -64,9 +69,10 @@ func (s *Stats) Home() int { return s.home }
 
 // recordHandoff counts the lock transfer to the new holder p by its
 // topological distance from the previous holder. The first acquisition of
-// a window has no previous holder and is not counted, so over a window
-// hand-offs always sum to acquisitions-1. Both acquire paths (Acquire and
-// a successful TryAcquire) funnel through here.
+// a window has no previous holder, and Release clears the marker when the
+// queue was empty, so only genuine contended transfers are counted —
+// under continuous contention they sum to acquisitions-1. Both acquire
+// paths (Acquire and a successful TryAcquire) funnel through here.
 func (s *Stats) recordHandoff(p *sim.Proc) {
 	if s.lastHolder >= 0 {
 		s.Handoffs[s.m.Mem.Distance(s.lastHolder, p.ID())]++
@@ -106,11 +112,20 @@ func (s *Stats) Acquire(p *sim.Proc) {
 	s.m.EmitSpan(sim.SpanLockWait, s.waitName, p.ID(), t0, now, s.home, 0)
 }
 
-// Release implements Lock.
+// Release implements Lock. A hand-off needs a receiver: when the lock is
+// released with contenders waiting, the next acquisition is a transfer and
+// is attributed to the releaser's module. An uncontended release (empty
+// queue) transfers to nobody — recording the releaser would count a later
+// self-reacquire as a DistLocal hand-off and inflate locality, so the
+// previous-holder marker is cleared instead.
 func (s *Stats) Release(p *sim.Proc) {
 	now := p.Now()
 	s.HoldUS.Add((now - s.acquiredAt).Microseconds())
-	s.lastHolder = p.ID()
+	if s.waiting > 0 {
+		s.lastHolder = p.ID()
+	} else {
+		s.lastHolder = -1
+	}
 	s.holding = 0
 	s.m.EmitSpan(sim.SpanLockHold, s.holdName, p.ID(), s.acquiredAt, now, s.home, 0)
 	s.inner.Release(p)

@@ -17,6 +17,11 @@ import (
 // saturated the controller crosses over to queue mode: contenders enqueue
 // and spin locally, only the queue head polls the word (bounded by the
 // controller's head backoff), and the home module carries only hand-offs.
+// On machines with more than one station a third escalation exists: when
+// queue mode still cannot relieve the module — the sign that ring-crossing
+// hand-offs are themselves the traffic — the controller crosses to cohort
+// mode, and contenders serialize through a hierarchical cohort lock whose
+// grants batch by station before polling the word.
 //
 // Both modes share one protocol, so a mode switch needs no stop-the-world
 // hand-over: a releaser that sees queued waiters writes a grant instead of
@@ -29,10 +34,11 @@ import (
 // would keep adjacent to the lock word, maintained off the critical path
 // by the sampling interrupt.
 type Tuned struct {
-	word  sim.Addr
-	queue *MCS
-	ctl   *tune.Controller
-	home  int
+	word   sim.Addr
+	queue  *MCS
+	cohort *Cohort
+	ctl    *tune.Controller
+	home   int
 
 	// fastAttempts/fastFailures count fast-path swaps and how many found
 	// the word taken; acquisitions/waitCycles accumulate completed Acquire
@@ -46,11 +52,17 @@ type Tuned struct {
 // NewTuned builds a tuned lock homed on module home and attaches its
 // sampling hook to the machine's engine. Zero-value params take defaults.
 func NewTuned(m *sim.Machine, home int, p tune.Params) *Tuned {
+	if p.Stations == 0 {
+		// Tell the controller how hierarchical the machine is: cohort mode
+		// only exists past one station.
+		p.Stations = m.Config().Stations
+	}
 	l := &Tuned{
-		word:  m.Mem.Alloc(home, 1),
-		queue: NewMCS(m, home, VariantH2),
-		ctl:   tune.NewController(p),
-		home:  home,
+		word:   m.Mem.Alloc(home, 1),
+		queue:  NewMCS(m, home, VariantH2),
+		cohort: NewCohort(m, home),
+		ctl:    tune.NewController(p),
+		home:   home,
 	}
 	tune.Attach(m.Eng, m.Mem.Module(home), func() tune.Counters {
 		return tune.Counters{
@@ -118,7 +130,36 @@ func (l *Tuned) acquire(p *sim.Proc) {
 			delay = cap
 		}
 	}
+	if l.ctl.Mode() == tune.ModeCohort {
+		l.cohortAcquire(p)
+		return
+	}
 	l.queueAcquire(p)
+}
+
+// cohortAcquire is the hierarchical path: contenders serialize through the
+// cohort lock — whose grant order batches by station — and only the cohort
+// holder polls the word, bounded by the controller's head backoff. The word
+// protocol is unchanged, so spinners and queuers from an in-flight mode
+// transition mix safely: a swallowed grant is restored exactly as on the
+// other paths.
+func (l *Tuned) cohortAcquire(p *sim.Proc) {
+	l.cohort.Acquire(p)
+	delay := sim.Duration(sim.Micros(1))
+	for {
+		old := p.Swap(l.word, adHeld)
+		p.Branch(1)
+		l.fastAttempts++
+		if old == adFree || old == adGranted {
+			break
+		}
+		l.fastFailures++
+		p.Think(delay/2 + p.RNG().Duration(delay/2+1))
+		if delay < l.ctl.HeadBackoff() {
+			delay *= 2
+		}
+	}
+	l.cohort.Release(p)
 }
 
 // queueAcquire is the Adaptive queue path with the head's polling bound
@@ -159,19 +200,27 @@ func (l *Tuned) TryAcquire(p *sim.Proc) bool {
 }
 
 // Release implements Lock. In queue mode: hand off to the queue head if
-// anyone is queued, else free the word (the Adaptive release). In spin mode
-// the releaser skips the queue-tail load and just frees the word — that
-// remote load is pure overhead when contenders poll the word directly, and
-// it is safe to skip because any straggler still sitting in the queue after
-// a mode switch polls the word itself (bounded by the head backoff), so it
+// anyone is queued, else free the word (the Adaptive release). In spin and
+// cohort modes the releaser skips the queue-tail load and just frees the
+// word — that remote load is pure overhead when contenders poll the word
+// directly (spinners, or the current cohort holder), and it is safe to
+// skip because any straggler still sitting in the queue after a mode
+// switch polls the word itself (bounded by the head backoff), so it
 // competes like a spinner instead of waiting for a grant that would never
 // come.
 func (l *Tuned) Release(p *sim.Proc) {
-	p.Branch(1)
-	if l.ctl.Mode() == tune.ModeSpin {
+	if l.ctl.Mode() != tune.ModeQueue {
+		// Swap first, then charge the mode-test/return branch, matching
+		// Spin.Release's split: the branch retires while the swap's store
+		// half drains the module, so an immediate re-acquire queues behind
+		// one access, not two. Charging the branch up front (as an earlier
+		// revision did) made the hybrid's uncontended round-trip one cycle
+		// slower than the spin lock it claims to match.
 		p.Swap(l.word, adFree)
+		p.Branch(1)
 		return
 	}
+	p.Branch(1)
 	tail := p.Load(l.queue.Word())
 	p.Branch(2)
 	if tail != 0 {

@@ -77,6 +77,12 @@ func (l *MCS) WaitGrant(n *qnode) {
 	}
 }
 
+// HasWaiter reports whether anyone is queued behind the holder's node n.
+// Like any MCS tail check it can race with an in-flight enqueue — a false
+// answer only means nobody had swapped the tail yet — but a true answer is
+// definite, which is what the cohort lock's local-pass decision needs.
+func (l *MCS) HasWaiter(n *qnode) bool { return l.tail.Load() != n }
+
 // TryAcquire makes a single attempt (§3.2's second variant): if the lock is
 // held, the node is left abandoned in the queue for a later Release to
 // collect, and TryAcquire reports false immediately.

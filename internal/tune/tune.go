@@ -58,11 +58,20 @@ const (
 	// ModeQueue: contenders enqueue and spin locally; only the queue head
 	// polls the word — the distributed-lock regime past saturation.
 	ModeQueue
+	// ModeCohort: contenders serialize through a hierarchical cohort lock
+	// whose grants batch by station — the regime where even local-spin
+	// queueing leaves the home module saturated because every hand-off
+	// crosses the ring. Only reachable on machines with more than one
+	// station (Params.Stations).
+	ModeCohort
 )
 
 func (m Mode) String() string {
-	if m == ModeQueue {
+	switch m {
+	case ModeQueue:
 		return "queue"
+	case ModeCohort:
+		return "cohort"
 	}
 	return "spin"
 }
@@ -92,6 +101,16 @@ type Params struct {
 	// MinHead and MaxHead clamp the queue head's polling backoff in queue
 	// mode (defaults 2us and 64us).
 	MinHead, MaxHead sim.Duration
+	// Stations is the machine's station count. Cohort mode only exists on
+	// hierarchical machines, so it is reachable only when Stations > 1
+	// (default 1: disabled).
+	Stations int
+	// DwellWindows is the minimum number of observation windows between
+	// mode switches (default 4 — the EWMA horizon). A switch resets the
+	// smoothed signals, and the dwell holds the new mode until the fresh
+	// windows can speak, so stale pre-switch samples can never bounce the
+	// mode straight back.
+	DwellWindows int
 	// LogLimit bounds the retained decision log (default 256; 0 takes the
 	// default, negative disables logging).
 	LogLimit int
@@ -121,6 +140,12 @@ func (p Params) withDefaults() Params {
 	}
 	if p.MaxHead == 0 {
 		p.MaxHead = sim.Micros(64)
+	}
+	if p.Stations == 0 {
+		p.Stations = 1
+	}
+	if p.DwellWindows == 0 {
+		p.DwellWindows = 4
 	}
 	if p.LogLimit == 0 {
 		p.LogLimit = 256
@@ -214,6 +239,12 @@ type Controller struct {
 	// sustained saturation — not a one-window burst — can force the cap up
 	// or cross the lock over to queue mode.
 	utilEWMA float64
+	// dwellLeft counts observation windows remaining before another mode
+	// switch is permitted. A switch resets the decayed signals (they were
+	// measured under the old mode and say nothing about the new one), so
+	// the dwell also covers the windows the fresh EWMA needs to mean
+	// anything.
+	dwellLeft int
 	// switches counts mode transitions; samples counts observations.
 	switches, samples uint64
 	log               []Decision
@@ -299,11 +330,22 @@ func (p Params) nextHead(prev sim.Duration, util float64) sim.Duration {
 
 // Observe consumes one sampling window and updates the published constants.
 // Both signals are smoothed over a ~4-window horizon before any decision is
-// taken. The crossover rule: spinning is abandoned only when the home
-// module stays saturated with the cap already at MaxCap — i.e. when backing
-// off further is impossible and the module still has no headroom — and
-// resumed when smoothed utilization falls below SatLow (the hysteresis band
-// plus the smoothing lag prevent flapping on one-window bursts).
+// taken. The crossover chain runs spin → queue → cohort as pressure grows:
+// spinning is abandoned only when the home module stays saturated with the
+// cap already at MaxCap — i.e. when backing off further is impossible and
+// the module still has no headroom — and queue mode escalates to the
+// hierarchical cohort shape (multi-station machines only) when sustained
+// saturation persists even with all waiting spinning locally, the sign
+// that ring-crossing hand-offs themselves are the traffic. Each retreat
+// happens when smoothed utilization falls through SatLow.
+//
+// A mode switch resets the decayed wait sums and the utilization EWMA:
+// they were measured under the old mode's protocol, and letting them bleed
+// into the first post-switch windows is what used to bounce the mode
+// straight back. The EWMA restarts from the middle of the hysteresis band
+// (neutral: forces no decision either way) and no further switch is
+// permitted for DwellWindows windows — at most one switch per dwell
+// period, by construction.
 func (c *Controller) Observe(s Sample) {
 	c.samples++
 	prevMode := c.mode
@@ -317,18 +359,35 @@ func (c *Controller) Observe(s Sample) {
 	atMax := c.cap == c.p.MaxCap
 	c.cap = c.p.NextCap(c.cap, util, c.waitUS)
 	c.head = c.p.nextHead(c.head, util)
-	switch c.mode {
-	case ModeSpin:
-		if util >= c.p.SatHigh && atMax {
-			c.mode = ModeQueue
-		}
-	case ModeQueue:
-		if util <= c.p.SatLow {
-			c.mode = ModeSpin
+	if c.dwellLeft > 0 {
+		c.dwellLeft--
+	} else {
+		switch c.mode {
+		case ModeSpin:
+			if util >= c.p.SatHigh && atMax {
+				c.mode = ModeQueue
+			}
+		case ModeQueue:
+			switch {
+			case util >= c.p.SatHigh && c.p.Stations > 1:
+				c.mode = ModeCohort
+			case util <= c.p.SatLow:
+				c.mode = ModeSpin
+			}
+		case ModeCohort:
+			if util <= c.p.SatLow {
+				c.mode = ModeQueue
+			}
 		}
 	}
 	if c.mode != prevMode {
 		c.switches++
+		// Start the new mode from clean windows: drop the old-mode wait
+		// mass (the estimate freezes until fresh acquisitions arrive) and
+		// restart the utilization EWMA from the neutral mid-band.
+		c.waitNum, c.waitDen = 0, 0
+		c.utilEWMA = (c.p.SatLow + c.p.SatHigh) / 2
+		c.dwellLeft = c.p.DwellWindows
 	}
 	if c.p.LogLimit > 0 && len(c.log) < c.p.LogLimit {
 		c.log = append(c.log, Decision{

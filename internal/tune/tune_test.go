@@ -136,6 +136,116 @@ func TestCrossoverRequiresSaturationAtMaxCap(t *testing.T) {
 	}
 }
 
+// saturateToQueue drives a controller through sustained saturation until
+// it crosses into queue mode, failing the test if it never does.
+func saturateToQueue(t *testing.T, c *Controller, wait Counters) {
+	t.Helper()
+	for i := 0; c.Mode() != ModeQueue; i++ {
+		c.Observe(Sample{HomeUtil: 0.95, Lock: wait})
+		if i > 200 {
+			t.Fatal("never crossed into queue mode under sustained saturation")
+		}
+	}
+}
+
+// TestModeSwitchResetsEWMAWindows pins the crossover-retreat fix: the wait
+// samples accumulated under the old mode must not bleed into the first
+// post-switch window. Before the fix, the decayed pre-switch wait mass
+// (here ~1000us per acquisition) dominated the first queue-mode estimate
+// and could bounce the controller straight back.
+func TestModeSwitchResetsEWMAWindows(t *testing.T) {
+	c := NewController(Params{})
+	saturateToQueue(t, c, Counters{Acquisitions: 4, WaitCycles: sim.Micros(1000 * 4)})
+	// First post-switch window: short waits under the new protocol.
+	c.Observe(Sample{HomeUtil: 0.30, Lock: Counters{Acquisitions: 4, WaitCycles: sim.Micros(5 * 4)}})
+	log := c.Log()
+	got := log[len(log)-1].WaitUS
+	if got != 5 {
+		t.Fatalf("first post-switch wait estimate = %.1fus, want 5 (stale pre-switch samples bled in)", got)
+	}
+	// The utilization EWMA restarted from the neutral mid-band, not the
+	// saturated pre-switch value.
+	p := c.Params()
+	mid := (p.SatLow + p.SatHigh) / 2
+	if want := waitDecay*mid + (1-waitDecay)*0.30; log[len(log)-1].UtilEWMA != want {
+		t.Fatalf("post-switch util EWMA = %.3f, want %.3f (restarted from mid-band)",
+			log[len(log)-1].UtilEWMA, want)
+	}
+}
+
+// TestHysteresisOneSwitchPerDwell alternates load hard enough that an
+// un-dwelled controller would flap, and asserts the mode never switches
+// twice within one dwell period.
+func TestHysteresisOneSwitchPerDwell(t *testing.T) {
+	c := NewController(Params{LogLimit: 1024})
+	saturateToQueue(t, c, Counters{})
+	// Alternate saturated and idle phases, each shorter than the EWMA
+	// horizon plus dwell, for many windows.
+	for i := 0; i < 120; i++ {
+		util := 0.95
+		if (i/3)%2 == 1 {
+			util = 0.02
+		}
+		c.Observe(Sample{HomeUtil: util})
+	}
+	log := c.Log()
+	last, seen := -1, 0
+	dwell := c.Params().DwellWindows
+	for i := 1; i < len(log); i++ {
+		if log[i].Mode == log[i-1].Mode {
+			continue
+		}
+		seen++
+		if last >= 0 && i-last < dwell {
+			t.Fatalf("modes switched %d windows apart (< dwell %d): windows %d and %d",
+				i-last, dwell, last, i)
+		}
+		last = i
+	}
+	if seen == 0 {
+		t.Fatal("alternating load produced no switches at all; the test is vacuous")
+	}
+}
+
+// TestEscalatesToCohortUnderSustainedSaturation pins the third controller
+// mode: when queue mode leaves the home module saturated on a multi-station
+// machine, the controller escalates to the hierarchical cohort shape; on a
+// single-station machine it never does; and sustained idle walks the chain
+// back down cohort → queue → spin.
+func TestEscalatesToCohortUnderSustainedSaturation(t *testing.T) {
+	c := NewController(Params{Stations: 8})
+	saturateToQueue(t, c, Counters{})
+	for i := 0; c.Mode() != ModeCohort; i++ {
+		c.Observe(Sample{HomeUtil: 0.95})
+		if i > 100 {
+			t.Fatal("never escalated to cohort mode under sustained queue-mode saturation")
+		}
+	}
+	if c.Switches() != 2 {
+		t.Fatalf("switches = %d, want 2 (spin->queue->cohort)", c.Switches())
+	}
+	// Sustained idle: retreat all the way back to spin, one dwell at a time.
+	for i := 0; c.Mode() != ModeSpin; i++ {
+		c.Observe(Sample{HomeUtil: 0.02})
+		if i > 100 {
+			t.Fatalf("never retreated to spin mode (stuck in %v)", c.Mode())
+		}
+	}
+	if c.Switches() != 4 {
+		t.Fatalf("switches = %d, want 4 (cohort->queue->spin retreat)", c.Switches())
+	}
+
+	// Single-station machine: cohort mode is unreachable.
+	c1 := NewController(Params{})
+	saturateToQueue(t, c1, Counters{})
+	for i := 0; i < 50; i++ {
+		c1.Observe(Sample{HomeUtil: 0.95})
+	}
+	if c1.Mode() != ModeQueue {
+		t.Fatalf("single-station controller left queue mode: %v", c1.Mode())
+	}
+}
+
 // TestCapDecaysToMinUnderIdle: a controller that saw load and then sees an
 // idle module walks the cap back down to MinCap (the uncontended-latency
 // half of the trade-off).

@@ -163,6 +163,14 @@ type StressConfig struct {
 	Procs, Rounds, Warmup int
 	// Hold is the critical-section hold time.
 	Hold sim.Duration
+	// Jitter, when non-zero, delays each processor's first measured round
+	// by a random think in [0, Jitter). Without it the post-barrier enqueue
+	// order is the processor ID order, and under continuous contention a
+	// FIFO lock then recycles that order forever — making its hand-offs
+	// look station-clustered as a pure start-order artifact. Locality
+	// comparisons (the cohort sweep) set this; latency-only runs leave it
+	// zero and reproduce the historical event order exactly.
+	Jitter sim.Duration
 	// Home is the lock's (and protected data's) home module.
 	Home int
 	// Tracer, when non-nil, observes the whole run including warm-up.
@@ -250,6 +258,9 @@ func LockStressRun(cfg StressConfig) *LockStressObserved {
 				// aggregator's readers) can separate warm-up from measurement.
 				m.Eng.Emit(sim.TraceEvent{Kind: sim.EvInstant, Name: "measurement window opens",
 					Proc: p.ID(), Start: p.Now(), End: p.Now(), Src: -1, Dst: -1})
+			}
+			if cfg.Jitter > 0 {
+				p.Think(p.RNG().Duration(cfg.Jitter))
 			}
 			for r := 0; r < cfg.Rounds; r++ {
 				t0 := p.Now()
