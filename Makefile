@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-wall results bench-diff bench-baseline jobs-equiv trace-smoke profile
+.PHONY: ci vet build test race bench bench-wall results bench-diff bench-baseline jobs-equiv trace-smoke server-smoke profile
 
-ci: vet build test race bench-diff jobs-equiv trace-smoke
+ci: vet build test race bench-diff jobs-equiv trace-smoke server-smoke
 
 vet:
 	$(GO) vet ./...
@@ -70,6 +70,21 @@ trace-smoke:
 	$(GO) run ./cmd/clustersim -size 16 -procs 4 -rounds 8 -migrate > /tmp/hurricane_migrate.txt
 	grep -Eq "migrations: [1-9]" /tmp/hurricane_migrate.txt
 	@echo "trace-smoke: online placement daemon migrated kernel data mid-run"
+
+# End-to-end check of the open-loop server harness: a short lockstat
+# server run must report a populated sojourn tail and per-tenant skew,
+# and the quick server sweep must publish p999 + rank-divergence metrics
+# on both machines.
+server-smoke:
+	$(GO) run ./cmd/lockstat -run server -tune -ms 6 > /tmp/hurricane_server.txt
+	grep -Eq "sojourn \(us\): n=[1-9][0-9]* mean=[0-9.]+ p50=[0-9.]+ p95=[0-9.]+ p99=[0-9.]+ p999=[0-9.]+" /tmp/hurricane_server.txt
+	grep -q "per-tenant" /tmp/hurricane_server.txt
+	grep -q "kernel lock controller" /tmp/hurricane_server.txt
+	$(GO) run ./cmd/hurricane-bench -quick -run '^server$$' -json /tmp/hurricane_server.json > /dev/null
+	grep -q '"hector16.CNA.p999"' /tmp/hurricane_server.json
+	grep -q '"numachine64.Tuned.p999"' /tmp/hurricane_server.json
+	grep -q '"hector16.rank_divergence"' /tmp/hurricane_server.json
+	@echo "server-smoke: open-loop server harness reports tail latency on both machines"
 
 # Refresh the checked-in baseline after an intentional performance change
 # (commit the result and explain the shift in the PR).

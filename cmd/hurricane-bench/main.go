@@ -112,6 +112,7 @@ func main() {
 		{"scaling", func() *exp.Table { return exp.Scaling(*seed, rounds(10, 4)) }},
 		{"tuned", func() *exp.Table { return exp.TunedCrossover(*seed, rounds(40, 10)) }},
 		{"cohort", func() *exp.Table { return exp.CohortSweep(*seed, rounds(40, 10)) }},
+		{"server", func() *exp.Table { return exp.ServerSweep(*seed, rounds(60, 20)) }},
 	}
 
 	var re *regexp.Regexp

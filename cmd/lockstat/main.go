@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"os"
 
+	"hurricane/internal/core"
 	"hurricane/internal/locks"
 	"hurricane/internal/machine"
 	"hurricane/internal/sim"
@@ -54,13 +55,17 @@ var kinds = map[string]locks.Kind{
 	"cna":      locks.KindCNA,
 }
 
-var machines = map[string]struct {
-	cfg      func(seed uint64) sim.Config
-	maxProcs int
-	topo     placement.Topo
-}{
-	"hector16":    {machine.Hector16, 16, placement.Topo{Stations: 4, ProcsPerStation: 4}},
-	"numachine64": {machine.NUMAchine64, 64, placement.Topo{Stations: 8, ProcsPerStation: 8}},
+type machineSpec struct {
+	cfg         func(seed uint64) sim.Config
+	maxProcs    int
+	topo        placement.Topo
+	clusterSize int
+	serverGapUS float64
+}
+
+var machines = map[string]machineSpec{
+	"hector16":    {machine.Hector16, 16, placement.Topo{Stations: 4, ProcsPerStation: 4}, 4, 90},
+	"numachine64": {machine.NUMAchine64, 64, placement.Topo{Stations: 8, ProcsPerStation: 8}, 8, 180},
 }
 
 func main() {
@@ -76,6 +81,8 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the run")
 	home := flag.Int("home", 0, "home module of the lock and its protected data")
 	migrate := flag.Bool("migrate", false, "protected data in a migratable region managed by the online placement daemon")
+	run := flag.String("run", "stress", "stress | server (open-loop multi-tenant server, tail-latency summary)")
+	horizonMS := flag.Int("ms", 20, "server mode: arrival horizon in simulated milliseconds")
 	flag.Parse()
 
 	if *tuned {
@@ -97,6 +104,16 @@ func main() {
 	}
 	if *warmup < 0 {
 		*warmup = *rounds / 4
+	}
+
+	switch *run {
+	case "server":
+		runServer(*machineName, mc, kind, *seed, *horizonMS, *migrate)
+		return
+	case "stress":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -run %q; choose stress or server\n", *run)
+		os.Exit(2)
 	}
 
 	us, counts := workload.UncontendedPair(*seed, kind)
@@ -220,5 +237,66 @@ func main() {
 		}
 		fmt.Printf("\nwrote %s (%d events; open in chrome://tracing or https://ui.perfetto.dev)\n",
 			*tracePath, len(tracer.Events()))
+	}
+}
+
+// runServer executes the open-loop multi-tenant server scenario (the
+// exp.ServerSweep workload at one point) and prints the sojourn-time tail,
+// the per-tenant breakdown, and — for the tuned lock or with -migrate —
+// the controller decision logs and the daemon's move log.
+func runServer(name string, mc machineSpec, kind locks.Kind, seed uint64, horizonMS int, migrate bool) {
+	cfg := workload.ServerConfig{
+		Machine:     mc.cfg(seed),
+		ClusterSize: mc.clusterSize,
+		LockKind:    kind,
+		Tenants:     2 * mc.topo.Stations,
+		ZipfS:       1.0,
+		Arrivals: workload.ArrivalSpec{
+			MeanGap:     sim.Micros(mc.serverGapUS),
+			Horizon:     sim.Micros(float64(horizonMS) * 1000),
+			BurstFactor: 3,
+			OnMean:      sim.Micros(400),
+			OffMean:     sim.Micros(800),
+			RampFrom:    0.8, RampTo: 1.2,
+			FlashAt: 0.55, FlashFor: 0.15, FlashFactor: 2.5,
+		},
+		Warmup:     sim.Micros(2000),
+		ChurnEvery: 8,
+	}
+	var daemon *placement.Daemon
+	if migrate {
+		cfg.Migratable = true
+		agg := trace.NewAggregate(mc.topo.Stations * mc.topo.ProcsPerStation)
+		cfg.Tracer = agg
+		cfg.Attach = func(sys *core.System) {
+			daemon = placement.NewDaemon(sys.M, agg, mc.topo,
+				placement.CostsFromLatency(sys.M.Lat()),
+				placement.DefaultDaemonParams(), placement.ManageKernel(sys.K))
+			daemon.Start()
+		}
+	}
+	r := workload.ServerRun(cfg)
+	fmt.Printf("%s %s: open-loop server, %dms horizon + drain (2ms warm-up), mean gap %gus\n",
+		name, kind, horizonMS, mc.serverGapUS)
+	dropPct := 0.0
+	if r.Offered > 0 {
+		dropPct = 100 * float64(r.Dropped) / float64(r.Offered)
+	}
+	fmt.Printf("  offered %d  admitted %d  dropped %d (%.2f%%)  goodput %.0f r/s\n",
+		r.Offered, r.Admitted, r.Dropped, dropPct, r.GoodputRPS)
+	fmt.Printf("  sojourn (us): %s\n", r.Lat.Tail())
+	fmt.Println("  per-tenant (rank order):")
+	for _, ts := range r.Tenants {
+		fmt.Printf("    tenant %-3d w=%.3f adm=%-5d drop=%-4d %s\n",
+			ts.Label, ts.Weight, ts.Admitted, ts.Dropped, ts.Lat.Tail())
+	}
+	if kind == locks.KindTuned {
+		for i, ctl := range r.Sys.K.Controllers() {
+			fmt.Printf("\nkernel lock controller %d:\n%s", i, ctl.Report())
+		}
+	}
+	if daemon != nil {
+		fmt.Println()
+		fmt.Print(daemon.Report())
 	}
 }

@@ -1,0 +1,193 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"hurricane/internal/core"
+	"hurricane/internal/locks"
+	"hurricane/internal/machine"
+	"hurricane/internal/sim"
+	"hurricane/internal/trace"
+	"hurricane/internal/trace/placement"
+	"hurricane/internal/workload"
+)
+
+// serverLockConfigs is the lock zoo the server sweep judges: the two
+// backoff spin locks (35us and 2ms caps), the best flat queue lock, the
+// two NUMA-aware hierarchical locks, the feedback-tuned lock, and the
+// tuned lock with the online placement daemon migrating kernel data
+// underneath it.
+type serverLockConfig struct {
+	name   string
+	kind   locks.Kind
+	daemon bool
+}
+
+var serverLockConfigs = []serverLockConfig{
+	{"Spin-35us", locks.KindSpin, false},
+	{"Spin-2ms", locks.KindSpin2ms, false},
+	{"H2-MCS", locks.KindH2MCS, false},
+	{"Cohort", locks.KindCohort, false},
+	{"CNA", locks.KindCNA, false},
+	{"Tuned", locks.KindTuned, false},
+	{"Tuned+mig", locks.KindTuned, true},
+}
+
+// serverMachineConfigs pairs each machine with an offered load near 1.2x
+// its fault-service capacity, so the MMPP bursts and the flash crowd push
+// it into genuine overload while the off-state load stays serviceable —
+// the regime where queueing delay, not hold time, dominates the tail.
+type serverMachineConfig struct {
+	name        string
+	cfg         func(seed uint64) sim.Config
+	clusterSize int
+	topo        placement.Topo
+	meanGap     sim.Duration
+	tenants     int
+}
+
+var serverMachineConfigs = []serverMachineConfig{
+	{"hector16", machine.Hector16, 4, placement.Topo{Stations: 4, ProcsPerStation: 4}, sim.Micros(90), 16},
+	{"numachine64", machine.NUMAchine64, 8, placement.Topo{Stations: 8, ProcsPerStation: 8}, sim.Micros(180), 32},
+}
+
+// serverArrivals is the shared open-loop shape: Poisson base load, 3x MMPP
+// bursts with a 1/3 duty cycle, a mild diurnal ramp, and a late 2.5x flash
+// crowd — the mid-run load shifts none of the fixed locks (or the tuner's
+// thresholds) were chosen against.
+func serverArrivals(gap sim.Duration, horizon sim.Duration) workload.ArrivalSpec {
+	return workload.ArrivalSpec{
+		MeanGap:     gap,
+		Horizon:     horizon,
+		BurstFactor: 3,
+		OnMean:      sim.Micros(400),
+		OffMean:     sim.Micros(800),
+		RampFrom:    0.8, RampTo: 1.2,
+		FlashAt: 0.55, FlashFor: 0.15, FlashFactor: 2.5,
+	}
+}
+
+// ServerSweep runs the open-loop multi-tenant server workload over the
+// lock zoo on both machines and reports the sojourn-time distribution —
+// p50/p99/p999, never the mean alone — plus goodput and drop rate. The
+// point of the open loop is that a slow kernel cannot slow the offered
+// load down: convoys and unfair grant orders that a closed-loop mean
+// hides show up directly as tail inflation, so the ranking by p999 need
+// not match the ranking by mean (the rank_divergence metrics count, per
+// machine, the lock pairs the two orderings disagree on).
+//
+// horizonMS sets the arrival window in simulated milliseconds; the run
+// then drains. Warmup (the first 2ms) is excluded from every statistic.
+func ServerSweep(seed uint64, horizonMS int) *Table {
+	t := &Table{
+		Title: "Server sweep: open-loop multi-tenant sojourn time (us) by lock, MMPP bursts + flash crowd",
+		Cols:  []string{"machine", "lock", "p50", "p99", "p999", "mean", "good(r/s)", "drop%"},
+	}
+	horizon := sim.Micros(float64(horizonMS) * 1000)
+	warmup := sim.Micros(2000)
+
+	type cell struct {
+		res      *workload.ServerResult
+		switches int
+		moves    int
+	}
+	nl := len(serverLockConfigs)
+	results := make([]cell, len(serverMachineConfigs)*nl)
+	RunParallel(len(results), func(i int) {
+		mc := serverMachineConfigs[i/nl]
+		lc := serverLockConfigs[i%nl]
+		cfg := workload.ServerConfig{
+			Machine:     mc.cfg(seed),
+			ClusterSize: mc.clusterSize,
+			LockKind:    lc.kind,
+			Tenants:     mc.tenants,
+			ZipfS:       1.0,
+			Arrivals:    serverArrivals(mc.meanGap, horizon),
+			Warmup:      warmup,
+			ChurnEvery:  8,
+		}
+		var daemon *placement.Daemon
+		if lc.daemon {
+			cfg.Migratable = true
+			agg := trace.NewAggregate(mc.topo.Stations * mc.topo.ProcsPerStation)
+			cfg.Tracer = agg
+			topo := mc.topo
+			cfg.Attach = func(sys *core.System) {
+				daemon = placement.NewDaemon(sys.M, agg, topo,
+					placement.CostsFromLatency(sys.M.Lat()),
+					placement.DefaultDaemonParams(), placement.ManageKernel(sys.K))
+				daemon.Start()
+			}
+		}
+		c := cell{res: workload.ServerRun(cfg)}
+		if lc.kind == locks.KindTuned {
+			for _, ctl := range c.res.Sys.K.Controllers() {
+				c.switches += int(ctl.Switches())
+			}
+		}
+		if daemon != nil {
+			c.moves = len(daemon.Moves())
+		}
+		results[i] = c
+	})
+
+	for mi, mc := range serverMachineConfigs {
+		means := make([]float64, nl)
+		p999s := make([]float64, nl)
+		for li, lc := range serverLockConfigs {
+			c := results[mi*nl+li]
+			r := c.res
+			tail := r.Lat.Tail()
+			dropPct := 0.0
+			if r.Offered > 0 {
+				dropPct = 100 * float64(r.Dropped) / float64(r.Offered)
+			}
+			t.AddRow(mc.name, lc.name, f1(tail.P50), f1(tail.P99), f1(tail.P999),
+				f1(tail.Mean), f1(r.GoodputRPS), f2(dropPct))
+			means[li] = tail.Mean
+			p999s[li] = tail.P999
+			t.AddMetric(fmt.Sprintf("%s.%s.p999", mc.name, lc.name), tail.P999, "us")
+			t.AddMetric(fmt.Sprintf("%s.%s.goodput", mc.name, lc.name), r.GoodputRPS, "rps")
+			if lc.kind == locks.KindTuned {
+				t.Note("%s %s: %d controller mode switches, %d daemon moves, %.2f%% dropped",
+					mc.name, lc.name, c.switches, c.moves, dropPct)
+			}
+		}
+		// Rank the zoo by mean and by p999 and count discordant pairs: a
+		// nonzero count means the mean alone would pick (or order) locks
+		// differently than the tail a latency SLO actually binds on.
+		order := func(v []float64) []int {
+			idx := make([]int, nl)
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.Slice(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
+			rank := make([]int, nl)
+			for pos, li := range idx {
+				rank[li] = pos
+			}
+			return rank
+		}
+		mRank, pRank := order(means), order(p999s)
+		discord := 0
+		var flips []string
+		for a := 0; a < nl; a++ {
+			for b := a + 1; b < nl; b++ {
+				if (mRank[a] < mRank[b]) != (pRank[a] < pRank[b]) {
+					discord++
+					flips = append(flips, fmt.Sprintf("%s<>%s",
+						serverLockConfigs[a].name, serverLockConfigs[b].name))
+				}
+			}
+		}
+		t.AddMetric(mc.name+".rank_divergence", float64(discord), "pairs")
+		if discord > 0 {
+			t.Note("%s: mean and p999 orderings disagree on %d lock pair(s): %v — the mean is not a proxy for the tail",
+				mc.name, discord, flips)
+		} else {
+			t.Note("%s: mean and p999 orderings agree at this load", mc.name)
+		}
+	}
+	return t
+}

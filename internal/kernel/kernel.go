@@ -14,6 +14,7 @@ import (
 	"hurricane/internal/cluster"
 	"hurricane/internal/locks"
 	"hurricane/internal/sim"
+	"hurricane/internal/tune"
 )
 
 // Protocol selects the cross-cluster deadlock-management discipline (§2.3).
@@ -71,6 +72,8 @@ type Stats struct {
 	Migrations       uint64 // online kernel-data slot migrations executed
 	MigratedWords    uint64 // words of kernel data copied by those migrations
 	MigrationCycles  uint64 // cycles stalled in migration copy bursts
+	Requests         uint64 // server requests completed (BeginRequest/EndRequest)
+	RequestCycles    uint64 // total request sojourn time in cycles
 }
 
 // Kernel ties the subsystems together.
@@ -105,6 +108,42 @@ func New(m *sim.Machine, cfg Config) *Kernel {
 
 // Config returns the kernel's configuration.
 func (k *Kernel) Config() Config { return k.cfg }
+
+// BeginRequest marks the start of a server request on processor p and
+// returns the timestamp EndRequest pairs with. The hooks cost no simulated
+// time: they model per-request accounting the kernel would keep in the
+// request descriptor it already touches.
+func (k *Kernel) BeginRequest(p *sim.Proc) sim.Time { return p.Now() }
+
+// EndRequest completes a request that arrived at `arrival` (which may
+// predate BeginRequest by the queueing delay): it bumps the kernel-wide
+// request counters and emits a SpanRequest trace span covering the whole
+// sojourn, tagged with the tenant rank.
+func (k *Kernel) EndRequest(p *sim.Proc, tenant uint64, arrival sim.Time) {
+	k.Stats.Requests++
+	k.Stats.RequestCycles += uint64(p.Now() - arrival)
+	k.M.EmitSpan(sim.SpanRequest, "server.request", p.ID(), arrival, p.Now(), -1, tenant)
+}
+
+// Controllers returns the tune.Controller of every feedback-tuned lock the
+// kernel owns (memory-manager, address-space and process-table locks), in
+// deterministic cluster order. Empty unless Config.LockKind is KindTuned —
+// the handle the controller-interaction tests use to check that kernel-wide
+// tuning does not oscillate.
+func (k *Kernel) Controllers() []*tune.Controller {
+	var cs []*tune.Controller
+	add := func(l locks.Lock) {
+		if tl, ok := l.(*locks.Tuned); ok {
+			cs = append(cs, tl.Controller())
+		}
+	}
+	for c := 0; c < k.Topo.N; c++ {
+		add(k.VM.MMLock(c))
+		add(k.VM.aspaces[c].Lock())
+		add(k.PM.tables[c].Lock())
+	}
+	return cs
+}
 
 // Key encoding: kernel objects are named by 64-bit keys whose high byte is
 // the home cluster (the paper's "data specific location resolution": the

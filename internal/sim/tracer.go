@@ -114,6 +114,9 @@ const (
 	// SpanMigrate covers an online migration of a kernel-data region: the
 	// copy burst plus the brief migration lock hold. Arg is the words moved.
 	SpanMigrate
+	// SpanRequest covers one server request, arrival to completion — the
+	// sojourn time the open-loop workloads report. Arg is the tenant rank.
+	SpanRequest
 )
 
 // String names the span kind for trace args and aggregation keys.
@@ -141,6 +144,8 @@ func (k SpanKind) String() string {
 		return "rpc.serve"
 	case SpanMigrate:
 		return "vm.migrate"
+	case SpanRequest:
+		return "server.request"
 	}
 	return fmt.Sprintf("SpanKind(%d)", int(k))
 }
@@ -148,7 +153,7 @@ func (k SpanKind) String() string {
 // SpanKindFromString inverts String (trace files round-trip through JSON).
 // Unknown names map to SpanNone.
 func SpanKindFromString(s string) SpanKind {
-	for k := SpanNone; k <= SpanMigrate; k++ {
+	for k := SpanNone; k <= SpanRequest; k++ {
 		if k.String() == s {
 			return k
 		}

@@ -113,3 +113,32 @@ func (d *Dist) String() string {
 	return fmt.Sprintf("n=%d mean=%.2f p50=%.2f p95=%.2f max=%.2f",
 		d.N(), d.Mean(), d.Percentile(50), d.Percentile(95), d.Max())
 }
+
+// Tail is the latency summary the server experiments report: order
+// statistics through the extreme tail, with the mean carried alongside but
+// never alone — the paper's §3.2 starvation discussion is exactly the case
+// where a lock design looks fine on the mean and terrible at p999.
+type Tail struct {
+	N                        int
+	Mean, P50, P95, P99, P999 float64
+	Max                      float64
+}
+
+// Tail computes the tail summary of the distribution.
+func (d *Dist) Tail() Tail {
+	return Tail{
+		N:    d.N(),
+		Mean: d.Mean(),
+		P50:  d.Percentile(50),
+		P95:  d.Percentile(95),
+		P99:  d.Percentile(99),
+		P999: d.Percentile(99.9),
+		Max:  d.Max(),
+	}
+}
+
+// String renders the tail summary on one line.
+func (t Tail) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%.1f p95=%.1f p99=%.1f p999=%.1f max=%.0f",
+		t.N, t.Mean, t.P50, t.P95, t.P99, t.P999, t.Max)
+}

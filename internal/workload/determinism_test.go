@@ -74,6 +74,84 @@ func TestLockStressDeterministic(t *testing.T) {
 	}
 }
 
+// TestServerDeterministic extends the byte-identical guarantee to the
+// open-loop server scenario: the same seed yields the same fingerprint —
+// every count, every percentile, every kernel counter — for the fixed
+// zoo, the tuned lock, and both protocols. Each run is one single-threaded
+// simulation, so this is also what makes exp.ServerSweep's merged output
+// byte-identical at any -jobs value (the jobs-equiv gate re-checks that
+// end to end).
+func TestServerDeterministic(t *testing.T) {
+	kinds := []locks.Kind{locks.KindSpin2ms, locks.KindCohort, locks.KindTuned}
+	for _, k := range kinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			t.Parallel()
+			run := func() string {
+				cfg := serverTestConfig(0x5eed, k)
+				return ServerRun(cfg).Fingerprint()
+			}
+			a, b := run(), run()
+			if a != b {
+				t.Fatalf("two identically seeded server runs diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestServerSeedSensitivity: a different seed must move the server run,
+// or TestServerDeterministic would pass vacuously.
+func TestServerSeedSensitivity(t *testing.T) {
+	run := func(seed uint64) string {
+		return ServerRun(serverTestConfig(seed, locks.KindSpin)).Fingerprint()
+	}
+	if run(1) == run(2) {
+		t.Fatal("different seeds produced identical server runs")
+	}
+}
+
+// TestServerTenantPermutationMetamorphic pins the label/rank separation:
+// permuting tenant IDs permutes the per-tenant breakdown but changes
+// nothing else — the overall latency distribution, the counts, the kernel
+// counters and the final clock are byte-identical, because the rank (not
+// the label) drives every access.
+func TestServerTenantPermutationMetamorphic(t *testing.T) {
+	base := ServerRun(serverTestConfig(9, locks.KindH2MCS))
+
+	cfg := serverTestConfig(9, locks.KindH2MCS)
+	perm := make([]int, cfg.Tenants)
+	for i := range perm {
+		perm[i] = (i*7 + 3) % cfg.Tenants // a fixed permutation (7 coprime to 16)
+	}
+	cfg.TenantIDs = perm
+	relabeled := ServerRun(cfg)
+
+	if a, b := base.Lat.Tail(), relabeled.Lat.Tail(); a != b {
+		t.Fatalf("permuting tenant labels changed the latency distribution:\n%s\nvs\n%s", a, b)
+	}
+	if base.Offered != relabeled.Offered || base.Dropped != relabeled.Dropped ||
+		base.Elapsed != relabeled.Elapsed || base.KStats != relabeled.KStats {
+		t.Fatal("permuting tenant labels changed run-level results")
+	}
+	// The per-tenant stats are the same multiset, relabeled: tenant with
+	// label perm[r] in the relabeled run matches rank r in the base run.
+	byLabel := make(map[int]TenantStats, len(relabeled.Tenants))
+	for _, ts := range relabeled.Tenants {
+		byLabel[ts.Label] = ts
+	}
+	for rank, want := range base.Tenants {
+		got, ok := byLabel[perm[rank]]
+		if !ok {
+			t.Fatalf("no tenant labeled %d in relabeled run", perm[rank])
+		}
+		if got.Admitted != want.Admitted || got.Dropped != want.Dropped ||
+			got.Lat.Tail() != want.Lat.Tail() {
+			t.Fatalf("rank %d stats not carried by label %d: %+v vs %+v",
+				rank, perm[rank], got, want)
+		}
+	}
+}
+
 // TestLockStressSeedSensitivity is the sanity counterweight: a different
 // seed must actually move the jittered backoff locks, or the determinism
 // test would pass vacuously on a simulator that ignored its seed.

@@ -1,0 +1,366 @@
+package workload
+
+import (
+	"fmt"
+
+	"hurricane/internal/core"
+	"hurricane/internal/kernel"
+	"hurricane/internal/locks"
+	"hurricane/internal/sim"
+	"hurricane/internal/stats"
+)
+
+// ServerConfig parameterizes the open-loop multi-tenant server scenario:
+// requests arrive on an ArrivalSpec schedule (Poisson, MMPP bursts, ramp,
+// flash crowd), each request is served by a pool of worker processors that
+// soft-fault a Zipf-chosen tenant's pages through the kernel VM — so hot
+// tenants concentrate faults on a few clusters' coarse locks — and every
+// ChurnEvery-th request additionally forks, messages and destroys a child
+// process, driving the §2.3 deadlock-management protocols.
+//
+// Unlike the closed-loop stress tests, the workload does not slow down
+// when the kernel does: arrivals keep coming, queueing delay compounds
+// into the sojourn time, and the latency distribution's tail — not its
+// mean — is where lock designs separate.
+type ServerConfig struct {
+	// Machine is the hardware configuration, including the seed.
+	Machine sim.Config
+	// ClusterSize is the kernel's processors-per-cluster.
+	ClusterSize int
+	// LockKind selects the kernel's coarse-lock algorithm (KindTuned puts
+	// a feedback controller on every kernel lock).
+	LockKind locks.Kind
+	// Protocol selects optimistic or pessimistic deadlock management.
+	Protocol kernel.Protocol
+	// Migratable allocates kernel data in migratable regions (for an
+	// attached placement daemon).
+	Migratable bool
+	// Tracer, when non-nil, observes the whole run.
+	Tracer sim.Tracer
+
+	// Workers is how many processors serve requests (default: all).
+	Workers int
+	// Tenants is the number of tenants; ZipfS the access skew exponent.
+	Tenants int
+	ZipfS   float64
+	// PagesPerTenant sizes each tenant's working set.
+	PagesPerTenant int
+	// Arrivals is the open-loop schedule (MeanGap, Horizon, bursts, ramp,
+	// flash crowd).
+	Arrivals ArrivalSpec
+	// Warmup excludes requests arriving before it from every statistic:
+	// table setup, AS/HAT creation and controller settling all happen on
+	// early (unmeasured) requests.
+	Warmup sim.Duration
+	// QueueLimit bounds the admission queue; arrivals past it are dropped
+	// (counted, not served) — the admission control that keeps an
+	// overloaded open-loop run's drain finite. Default 4x Workers.
+	QueueLimit int
+	// ChurnEvery makes every Nth admitted request fork/message/destroy a
+	// child process homed on the tenant's cluster (0 disables).
+	ChurnEvery int
+	// TenantIDs, when non-nil, relabels tenants: rank r reports as tenant
+	// TenantIDs[r]. The rank — not the label — drives page access, so
+	// permuting labels permutes per-tenant stats without changing the
+	// latency distribution (the metamorphic property the tests pin).
+	TenantIDs []int
+	// Attach, when non-nil, runs after the system exists but before any
+	// processor starts — the hook that installs a placement daemon.
+	Attach func(sys *core.System)
+}
+
+// TenantStats is one tenant's measured-window summary.
+type TenantStats struct {
+	// Label is the tenant's reported ID (TenantIDs[rank], or the rank).
+	Label int
+	// Weight is the tenant's Zipf probability mass.
+	Weight float64
+	// Admitted and Dropped count the tenant's measured-window arrivals.
+	Admitted, Dropped uint64
+	// Lat is the tenant's measured sojourn distribution (microseconds).
+	Lat *stats.Dist
+}
+
+// ServerResult is one server run's report. All request counts cover the
+// measured window (arrivals at or after Warmup) only.
+type ServerResult struct {
+	// Offered = Admitted + Dropped; Completed counts admitted requests
+	// that finished (every admitted request completes — the drain runs to
+	// empty — so Completed == Admitted, kept separate as a sanity check).
+	Offered, Admitted, Dropped, Completed uint64
+	// Lat is the overall sojourn distribution in microseconds
+	// (arrival to completion, queueing included).
+	Lat *stats.Dist
+	// Tenants is the per-tenant breakdown, indexed by rank.
+	Tenants []TenantStats
+	// GoodputRPS is completed requests per simulated second of measured
+	// time (Warmup to the end of the drain).
+	GoodputRPS float64
+	// Elapsed is the final simulated time (arrival horizon + drain).
+	Elapsed sim.Time
+	// KStats snapshots the kernel counters after the run.
+	KStats kernel.Stats
+	// Sys is the system the run executed on (controllers, daemon, traces).
+	Sys *core.System
+}
+
+// Fingerprint renders everything the run publishes as one string, so two
+// runs can be compared byte for byte (the determinism property).
+func (r *ServerResult) Fingerprint() string {
+	s := fmt.Sprintf("offered=%d admitted=%d dropped=%d completed=%d elapsed=%d goodput=%.6f\n",
+		r.Offered, r.Admitted, r.Dropped, r.Completed, r.Elapsed, r.GoodputRPS)
+	s += fmt.Sprintf("lat %s\n", r.Lat.Tail())
+	s += fmt.Sprintf("kstats %+v\n", r.KStats)
+	for _, t := range r.Tenants {
+		s += fmt.Sprintf("tenant %d w=%.4f adm=%d drop=%d %s\n",
+			t.Label, t.Weight, t.Admitted, t.Dropped, t.Lat.Tail())
+	}
+	return s
+}
+
+// serverRequest is one precomputed request: the schedule is materialized
+// before the machine starts, so the event stream is a pure function of the
+// seed and the same offered load replays against any lock or machine.
+type serverRequest struct {
+	at    sim.Time
+	rank  int
+	vpn   uint64
+	churn bool
+}
+
+// ServerRun executes the scenario and reports the tail-latency summary.
+func ServerRun(cfg ServerConfig) *ServerResult {
+	if cfg.Workers == 0 {
+		cfg.Workers = numProcsOf(cfg.Machine)
+	}
+	if cfg.Tenants == 0 {
+		cfg.Tenants = 16
+	}
+	if cfg.PagesPerTenant == 0 {
+		cfg.PagesPerTenant = 4
+	}
+	if cfg.QueueLimit == 0 {
+		cfg.QueueLimit = 4 * cfg.Workers
+	}
+	sys := core.NewSystem(core.Config{
+		Machine:     cfg.Machine,
+		ClusterSize: cfg.ClusterSize,
+		LockKind:    cfg.LockKind,
+		Protocol:    cfg.Protocol,
+		Migratable:  cfg.Migratable,
+		Tracer:      cfg.Tracer,
+	})
+	if cfg.Attach != nil {
+		cfg.Attach(sys)
+	}
+	k := sys.K
+	m := sys.M
+
+	// Materialize the offered load: arrival times from the spec, tenant
+	// rank and page from an independent per-request stream.
+	sched := cfg.Arrivals.Generate(cfg.Machine.Seed ^ 0xa5a5a5a5)
+	zipf := NewZipf(cfg.Tenants, cfg.ZipfS)
+	rr := sim.NewRNG(cfg.Machine.Seed ^ 0x5ee0c0de)
+	reqs := make([]serverRequest, len(sched.Times))
+	for i, at := range sched.Times {
+		reqs[i] = serverRequest{
+			at:    at,
+			rank:  zipf.Sample(rr),
+			vpn:   uint64(rr.Intn(cfg.PagesPerTenant)),
+			churn: cfg.ChurnEvery > 0 && i%cfg.ChurnEvery == cfg.ChurnEvery-1,
+		}
+	}
+
+	res := &ServerResult{Lat: &stats.Dist{}, Sys: sys}
+	res.Tenants = make([]TenantStats, cfg.Tenants)
+	for rank := range res.Tenants {
+		label := rank
+		if cfg.TenantIDs != nil {
+			label = cfg.TenantIDs[rank]
+		}
+		res.Tenants[rank] = TenantStats{Label: label, Weight: zipf.Weight(rank), Lat: &stats.Dist{}}
+	}
+
+	// Tenant rank -> kernel objects, homed on the tenant's cluster so hot
+	// tenants concentrate faults (and their lock traffic) on a few
+	// clusters' memory-manager locks.
+	tenantCluster := func(rank int) int { return rank % k.Topo.N }
+	tenantRegion := func(rank int) uint64 {
+		return kernel.MakeKey(tenantCluster(rank), 1, uint64(rank+1)<<20)
+	}
+	workerPID := func(id int) uint64 {
+		return kernel.PIDKey(k.Topo.ClusterOf(id), uint64(1000+id))
+	}
+
+	// Dispatch queue: a zero-cost kernel scheduler model. Arrivals enqueue
+	// (or drop past QueueLimit); idle workers park and are woken one per
+	// arrival.
+	var (
+		queue      []int // indices into reqs
+		qhead      int
+		idle       []*sim.Proc
+		done       bool
+		setupReady bool
+	)
+	measured := func(i int) bool { return reqs[i].at >= sim.Time(cfg.Warmup) }
+	wakeOne := func() {
+		if len(idle) > 0 {
+			p := idle[len(idle)-1]
+			idle = idle[:len(idle)-1]
+			p.Unpark()
+		}
+	}
+	arrive := func(i int) {
+		rank := reqs[i].rank
+		if len(queue)-qhead >= cfg.QueueLimit {
+			if measured(i) {
+				res.Offered++
+				res.Dropped++
+				res.Tenants[rank].Dropped++
+			}
+			return
+		}
+		if measured(i) {
+			res.Offered++
+			res.Admitted++
+			res.Tenants[rank].Admitted++
+		}
+		queue = append(queue, i)
+		wakeOne()
+	}
+	// Chain the arrival events so the pending-event heap stays small; the
+	// last arrival closes the shop and wakes everyone for the drain.
+	var schedule func(i int)
+	schedule = func(i int) {
+		m.Eng.At(reqs[i].at, func() {
+			arrive(i)
+			if i+1 < len(reqs) {
+				schedule(i + 1)
+			} else {
+				done = true
+				for _, p := range idle {
+					p.Unpark()
+				}
+				idle = idle[:0]
+			}
+		})
+	}
+	if len(reqs) > 0 {
+		schedule(0)
+	} else {
+		done = true
+	}
+
+	handle := func(p *sim.Proc, i int) {
+		req := reqs[i]
+		k.BeginRequest(p)
+		pid := workerPID(p.ID())
+		region := tenantRegion(req.rank)
+		if _, err := k.VM.Fault(p, pid, region, req.vpn, true); err != nil {
+			panic(err)
+		}
+		k.VM.Unmap(p, pid, region, req.vpn)
+		if req.churn {
+			// Fork/exec churn: a short-lived child homed on the tenant's
+			// cluster, linked under the worker's process — create, message,
+			// destroy exercise the cross-cluster deadlock protocol on
+			// descriptor sets with no natural lock order.
+			child := kernel.PIDKey(tenantCluster(req.rank), uint64(1<<24+i))
+			if err := k.PM.Create(p, child, pid); err != nil {
+				panic(err)
+			}
+			if err := k.PM.Send(p, pid, child); err != nil {
+				panic(err)
+			}
+			if err := k.PM.Destroy(p, child); err != nil {
+				panic(err)
+			}
+		}
+		k.EndRequest(p, uint64(res.Tenants[req.rank].Label), req.at)
+		if measured(i) {
+			lat := (p.Now() - req.at).Microseconds()
+			res.Lat.Add(lat)
+			res.Tenants[req.rank].Lat.Add(lat)
+			res.Completed++
+		}
+	}
+
+	bar := NewBarrier(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		sys.Spawn(w, func(p *sim.Proc) {
+			if w == 0 {
+				// Tenant tables: regions, FCBs and coherent pages, homed by
+				// rank. Runs once, before any worker serves.
+				for rank := 0; rank < cfg.Tenants; rank++ {
+					c := tenantCluster(rank)
+					region := tenantRegion(rank)
+					file := kernel.MakeKey(c, 2, uint64(rank+1)<<20)
+					base := kernel.MakeKey(c, 3, uint64(rank+1)<<20)
+					k.VM.SetupRegion(p, region, file, base)
+					for v := 0; v < cfg.PagesPerTenant; v++ {
+						k.VM.SetupFCB(p, file+uint64(v))
+						k.VM.SetupPage(p, base+uint64(v), uint64(cfg.Workers),
+							kernel.FlagCoherent, uint64(rank+1)<<20|uint64(v))
+					}
+				}
+				setupReady = true
+			}
+			// Every worker registers its own process descriptor (the churn
+			// children's parent), then opens for business together.
+			if err := k.PM.Create(p, workerPID(p.ID()), 0); err != nil {
+				panic(err)
+			}
+			bar.Wait(p)
+			if !setupReady {
+				panic("server: worker released before tenant setup")
+			}
+			for {
+				if qhead < len(queue) {
+					i := queue[qhead]
+					qhead++
+					handle(p, i)
+					continue
+				}
+				if done {
+					return
+				}
+				idle = append(idle, p)
+				for {
+					p.Park()
+					// Spurious wake (an RPC IPI): still idle if listed.
+					stillIdle := false
+					for _, q := range idle {
+						if q == p {
+							stillIdle = true
+						}
+					}
+					if !stillIdle {
+						break
+					}
+				}
+			}
+		})
+	}
+	sys.ServeOthers()
+	res.Elapsed = sys.Run(0)
+	res.KStats = k.Stats
+
+	if span := res.Elapsed - sim.Time(cfg.Warmup); span > 0 && res.Completed > 0 {
+		res.GoodputRPS = float64(res.Completed) / (span.Microseconds() / 1e6)
+	}
+	return res
+}
+
+// numProcsOf reports how many processors cfg builds, without building a
+// machine: the sim defaults are 4x4 when unset.
+func numProcsOf(cfg sim.Config) int {
+	s, pps := cfg.Stations, cfg.ProcsPerStation
+	if s == 0 {
+		s = 4
+	}
+	if pps == 0 {
+		pps = 4
+	}
+	return s * pps
+}
