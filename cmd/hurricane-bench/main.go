@@ -62,6 +62,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced round counts")
 	jsonPath := flag.String("json", "BENCH_sim.json", "machine-readable summary path (empty to disable)")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "worker pool size for experiments and their cells (1 = serial)")
+	parworkers := flag.Int("parworkers", 8, "logical-process worker count inside parallel-engine experiments (deterministic: any value yields the same summary)")
 	wallPath := flag.String("wall", "", "wall-clock metrics path (empty to disable)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this path")
@@ -113,6 +114,16 @@ func main() {
 		{"tuned", func() *exp.Table { return exp.TunedCrossover(*seed, rounds(40, 10)) }},
 		{"cohort", func() *exp.Table { return exp.CohortSweep(*seed, rounds(40, 10)) }},
 		{"server", func() *exp.Table { return exp.ServerSweep(*seed, rounds(60, 20)) }},
+		{"parstress", func() *exp.Table { return exp.ParStress(*seed, rounds(4000, 2500), !*quick) }},
+	}
+	if !*quick {
+		// Wall-clock speedup is a host measurement, not a simulated one:
+		// meaningless at CI scale and excluded from the deterministic quick
+		// summary by construction.
+		experiments = append(experiments, struct {
+			name string
+			run  func() *exp.Table
+		}{"parspeed", func() *exp.Table { return exp.ParSpeed(*seed, 4000) }})
 	}
 
 	var re *regexp.Regexp
@@ -144,6 +155,7 @@ func main() {
 	}
 
 	exp.SetParallelism(*jobs)
+	exp.SetParWorkers(*parworkers)
 
 	// Run everything on the pool (experiments fan out again into their own
 	// cells), buffer each table, then print and assemble the report in

@@ -57,6 +57,15 @@ const tunedSeeds = 3
 // contenders while one winner monopolizes the lock, and the losers' giant
 // waits land after contention has drained; the wall clock still pays for
 // the convoy, which PairUS counts and the mean hides.
+//
+// A second tuned column, Tuned-40, runs the same controller with its
+// backoff ceiling clamped to 40us (tune.Params.MaxCap): the
+// latency-bounded stance a kernel would pick when an interrupt-latency or
+// SLO budget forbids multi-millisecond spins. Against the unconstrained
+// Tuned column it shows what the bound costs — the clamp removes the
+// long-cap spin regime, so the controller must cross to queue mode
+// earlier, trading a little mid-contention latency for a bounded worst
+// case.
 func TunedCrossover(seed uint64, rounds int) *Table {
 	t := &Table{
 		Title: "Tuned crossover: acquire latency (us) vs processors, hold=25us",
@@ -65,7 +74,7 @@ func TunedCrossover(seed uint64, rounds int) *Table {
 	for _, k := range tunedCrossoverKinds {
 		t.Cols = append(t.Cols, k.String())
 	}
-	t.Cols = append(t.Cols, "Tuned", "pair(us)", "cap(us)", "mode")
+	t.Cols = append(t.Cols, "Tuned", "pair(us)", "cap(us)", "mode", "Tuned-40", "lb-pair", "lb-mode")
 
 	hold := sim.Micros(25)
 	warmup := rounds / 4
@@ -82,7 +91,9 @@ func TunedCrossover(seed uint64, rounds int) *Table {
 		ctl     *tune.Controller // tuned cells: controller of the last seed run
 		crossed bool
 	}
-	nLocks := len(tunedCrossoverKinds) + 1
+	// Two tuned cells ride after the fixed kinds: the unconstrained
+	// controller, then the latency-bounded (MaxCap 40us) variant.
+	nLocks := len(tunedCrossoverKinds) + 2
 	type cellKey struct{ mi, pi, ki int }
 	var cells []cellKey
 	for mi, mc := range tunedMachines {
@@ -110,12 +121,16 @@ func TunedCrossover(seed uint64, rounds int) *Table {
 				res.pt.pair += r.PairUS
 			}
 		} else {
+			var params tune.Params
+			if c.ki == len(tunedCrossoverKinds)+1 {
+				params.MaxCap = sim.Micros(40)
+			}
 			for s := uint64(0); s < tunedSeeds; s++ {
 				var tl *locks.Tuned
 				r := workload.LockStressRun(workload.StressConfig{
 					Machine: mc.Cfg(seed + s),
 					MakeLock: func(m *sim.Machine, home int) locks.Lock {
-						tl = locks.NewTuned(m, home, tune.Params{})
+						tl = locks.NewTuned(m, home, params)
 						return tl
 					},
 					Procs: p, Rounds: rounds, Warmup: warmup, Hold: hold,
@@ -139,7 +154,7 @@ func TunedCrossover(seed uint64, rounds int) *Table {
 	}
 	for mi, mc := range tunedMachines {
 		worstPair, worstAcq := 0.0, 0.0
-		crossoverP := 0
+		crossoverP, lbCrossoverP := 0, 0
 		var pairRatios []string
 		for pi, p := range mc.Procs {
 			row := []string{mc.Name, fmt.Sprintf("%d", p)}
@@ -158,6 +173,11 @@ func TunedCrossover(seed uint64, rounds int) *Table {
 			tuned, crossed, ctl := tc.pt, tc.crossed, tc.ctl
 			row = append(row, f1(tuned.acq), f1(tuned.pair),
 				fmt.Sprintf("%.0f", ctl.BackoffCap().Microseconds()), ctl.Mode().String())
+			lb := cellAt(mi, pi, len(tunedCrossoverKinds)+1)
+			row = append(row, f1(lb.pt.acq), f1(lb.pt.pair), lb.ctl.Mode().String())
+			if lbCrossoverP == 0 && lb.crossed {
+				lbCrossoverP = p
+			}
 			t.AddRow(row...)
 			// Ratios compare per-round elapsed wall time (overhead plus the
 			// hold itself): the hold-work model can undershoot the nominal
@@ -180,6 +200,8 @@ func TunedCrossover(seed uint64, rounds int) *Table {
 				t.AddMetric(mc.Name+".best_fixed_pmax", bestAcq, "us")
 				t.AddMetric(mc.Name+".tuned_pair_pmax", tuned.pair, "us")
 				t.AddMetric(mc.Name+".best_fixed_pair_pmax", bestPair, "us")
+				t.AddMetric(mc.Name+".tunedlb_acquire_pmax", lb.pt.acq, "us")
+				t.AddMetric(mc.Name+".tunedlb_pair_pmax", lb.pt.pair, "us")
 			}
 		}
 		t.AddMetric(mc.Name+".tuned_worst_ratio", worstPair, "ratio")
@@ -191,6 +213,12 @@ func TunedCrossover(seed uint64, rounds int) *Table {
 			t.Note("%s: controller first crossed spin->queue at p=%d", mc.Name, crossoverP)
 		} else {
 			t.Note("%s: controller never left spin mode (no saturation at MaxCap)", mc.Name)
+		}
+		if lbCrossoverP > 0 {
+			t.AddMetric(mc.Name+".tunedlb_crossover_p", float64(lbCrossoverP), "procs")
+			t.Note("%s: latency-bounded (MaxCap 40us) controller first crossed at p=%d", mc.Name, lbCrossoverP)
+		} else {
+			t.Note("%s: latency-bounded (MaxCap 40us) controller never left spin mode", mc.Name)
 		}
 	}
 	return t

@@ -39,9 +39,10 @@ type Stats struct {
 	// acquisition of a window and any acquisition following an uncontended
 	// release (nobody was waiting, so nothing was handed to anybody) are
 	// not hand-offs. Under continuous contention every acquisition after
-	// the first is a hand-off, so the three counters sum to
-	// Acquisitions-1.
-	Handoffs [3]uint64 // indexed by sim.DistClass
+	// the first is a hand-off, so the counters sum to Acquisitions-1.
+	// The global slot only fills on machines with a multi-level ring
+	// hierarchy.
+	Handoffs [sim.NumDistClasses]uint64 // indexed by sim.DistClass
 
 	waiting    int
 	holding    int // 0 or 1
@@ -89,7 +90,7 @@ func (s *Stats) ResetWindow() {
 	s.HoldUS = stats.Dist{}
 	s.QueueDepth = stats.Dist{}
 	s.MaxQueueDepth = 0
-	s.Handoffs = [3]uint64{}
+	s.Handoffs = [sim.NumDistClasses]uint64{}
 	s.lastHolder = -1
 }
 
@@ -153,7 +154,11 @@ func (s *Stats) TryAcquire(p *sim.Proc) bool {
 
 // HandoffTotal reports the number of counted hand-offs.
 func (s *Stats) HandoffTotal() uint64 {
-	return s.Handoffs[sim.DistLocal] + s.Handoffs[sim.DistStation] + s.Handoffs[sim.DistRing]
+	var tot uint64
+	for _, h := range s.Handoffs {
+		tot += h
+	}
+	return tot
 }
 
 // Report renders the accumulated telemetry as an indented text block.
@@ -172,10 +177,14 @@ func (s *Stats) Report() string {
 	fmt.Fprintf(&b, "  queue depth:  mean %.1f  p95 %.0f  max %d\n",
 		s.QueueDepth.Mean(), s.QueueDepth.Percentile(95), s.MaxQueueDepth)
 	if tot := s.HandoffTotal(); tot > 0 {
-		fmt.Fprintf(&b, "  hand-offs:    %d local (%.0f%%), %d station (%.0f%%), %d ring (%.0f%%)\n",
+		fmt.Fprintf(&b, "  hand-offs:    %d local (%.0f%%), %d station (%.0f%%), %d ring (%.0f%%)",
 			s.Handoffs[sim.DistLocal], 100*float64(s.Handoffs[sim.DistLocal])/float64(tot),
 			s.Handoffs[sim.DistStation], 100*float64(s.Handoffs[sim.DistStation])/float64(tot),
 			s.Handoffs[sim.DistRing], 100*float64(s.Handoffs[sim.DistRing])/float64(tot))
+		if g := s.Handoffs[sim.DistGlobal]; g > 0 {
+			fmt.Fprintf(&b, ", %d global (%.0f%%)", g, 100*float64(g)/float64(tot))
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

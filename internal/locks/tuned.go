@@ -34,19 +34,32 @@ import (
 // would keep adjacent to the lock word, maintained off the critical path
 // by the sampling interrupt.
 type Tuned struct {
-	word   sim.Addr
-	queue  *MCS
-	cohort *Cohort
-	ctl    *tune.Controller
-	home   int
+	word        sim.Addr
+	queue       *MCS
+	cohort      *Cohort
+	ctl         *tune.Controller
+	home        int
+	homeStation int
 
-	// fastAttempts/fastFailures count fast-path swaps and how many found
-	// the word taken; acquisitions/waitCycles accumulate completed Acquire
-	// calls and their total latency — the cumulative counters the
-	// controller's sampling hook diffs into windows.
+	// counts holds the observation counters the controller's sampling hook
+	// diffs into windows, sharded by the acquiring processor's station and
+	// padded so that in parallel mode two stations never write-share a
+	// cache line. The sampling hook sums the shards at a quiesced point (a
+	// daemon event — in parallel mode, a window barrier), so the totals it
+	// sees are exactly the serial engine's.
+	counts []tunedCounts
+}
+
+// tunedCounts is one station's shard of the Tuned observation counters:
+// fast-path swaps and how many found the word taken, completed Acquire
+// calls (and how many came from off-home stations), and their total
+// acquire latency. All cumulative; padded to a 64-byte line.
+type tunedCounts struct {
 	fastAttempts, fastFailures uint64
 	acquisitions               uint64
+	remoteAcquisitions         uint64
 	waitCycles                 sim.Duration
+	_                          [3]uint64
 }
 
 // NewTuned builds a tuned lock homed on module home and attaches its
@@ -58,19 +71,25 @@ func NewTuned(m *sim.Machine, home int, p tune.Params) *Tuned {
 		p.Stations = m.Config().Stations
 	}
 	l := &Tuned{
-		word:   m.Mem.Alloc(home, 1),
-		queue:  NewMCS(m, home, VariantH2),
-		cohort: NewCohort(m, home),
-		ctl:    tune.NewController(p),
-		home:   home,
+		word:        m.Mem.Alloc(home, 1),
+		queue:       NewMCS(m, home, VariantH2),
+		cohort:      NewCohort(m, home),
+		ctl:         tune.NewController(p),
+		home:        home,
+		homeStation: m.Mem.StationOf(home),
+		counts:      make([]tunedCounts, m.Config().Stations),
 	}
 	tune.Attach(m.Eng, m.Mem.Module(home), func() tune.Counters {
-		return tune.Counters{
-			Attempts:     l.fastAttempts,
-			Failures:     l.fastFailures,
-			Acquisitions: l.acquisitions,
-			WaitCycles:   l.waitCycles,
+		var t tune.Counters
+		for i := range l.counts {
+			c := &l.counts[i]
+			t.Attempts += c.fastAttempts
+			t.Failures += c.fastFailures
+			t.Acquisitions += c.acquisitions
+			t.RemoteAcquisitions += c.remoteAcquisitions
+			t.WaitCycles += c.waitCycles
 		}
+		return t
 	}, l.ctl)
 	return l
 }
@@ -91,21 +110,26 @@ func (l *Tuned) Word() sim.Addr { return l.word }
 func (l *Tuned) Acquire(p *sim.Proc) {
 	t0 := p.Now()
 	l.acquire(p)
-	l.acquisitions++
-	l.waitCycles += p.Now() - t0
+	c := &l.counts[p.Station()]
+	c.acquisitions++
+	if p.Station() != l.homeStation {
+		c.remoteAcquisitions++
+	}
+	c.waitCycles += p.Now() - t0
 }
 
 // acquire is the acquisition protocol; Acquire wraps it with the zero-cost
 // latency accounting the controller's wait signal consumes.
 func (l *Tuned) acquire(p *sim.Proc) {
+	c := &l.counts[p.Station()]
 	p.Reg(1)
 	old := p.Swap(l.word, adHeld)
 	p.Branch(2)
-	l.fastAttempts++
+	c.fastAttempts++
 	if old == adFree {
 		return
 	}
-	l.fastFailures++
+	c.fastFailures++
 	if old == adGranted {
 		// A hand-off meant for the queue head; put it back.
 		p.Store(l.word, adGranted)
@@ -117,11 +141,11 @@ func (l *Tuned) acquire(p *sim.Proc) {
 		p.Think(delay/2 + p.RNG().Duration(delay/2+1))
 		old = p.Swap(l.word, adHeld)
 		p.Branch(1)
-		l.fastAttempts++
+		c.fastAttempts++
 		if old == adFree {
 			return
 		}
-		l.fastFailures++
+		c.fastFailures++
 		if old == adGranted {
 			p.Store(l.word, adGranted)
 		}
@@ -144,16 +168,17 @@ func (l *Tuned) acquire(p *sim.Proc) {
 // transition mix safely: a swallowed grant is restored exactly as on the
 // other paths.
 func (l *Tuned) cohortAcquire(p *sim.Proc) {
+	c := &l.counts[p.Station()]
 	l.cohort.Acquire(p)
 	delay := sim.Duration(sim.Micros(1))
 	for {
 		old := p.Swap(l.word, adHeld)
 		p.Branch(1)
-		l.fastAttempts++
+		c.fastAttempts++
 		if old == adFree || old == adGranted {
 			break
 		}
-		l.fastFailures++
+		c.fastFailures++
 		p.Think(delay/2 + p.RNG().Duration(delay/2+1))
 		if delay < l.ctl.HeadBackoff() {
 			delay *= 2
@@ -165,16 +190,17 @@ func (l *Tuned) cohortAcquire(p *sim.Proc) {
 // queueAcquire is the Adaptive queue path with the head's polling bound
 // taken from the controller instead of a fixed HeadBackoff.
 func (l *Tuned) queueAcquire(p *sim.Proc) {
+	c := &l.counts[p.Station()]
 	l.queue.Acquire(p)
 	delay := sim.Duration(sim.Micros(1))
 	for {
 		old := p.Swap(l.word, adHeld)
 		p.Branch(1)
-		l.fastAttempts++
+		c.fastAttempts++
 		if old == adFree || old == adGranted {
 			break
 		}
-		l.fastFailures++
+		c.fastFailures++
 		p.Think(delay/2 + p.RNG().Duration(delay/2+1))
 		if delay < l.ctl.HeadBackoff() {
 			delay *= 2
@@ -185,14 +211,15 @@ func (l *Tuned) queueAcquire(p *sim.Proc) {
 
 // TryAcquire implements TryLocker: a single fast-path attempt.
 func (l *Tuned) TryAcquire(p *sim.Proc) bool {
+	c := &l.counts[p.Station()]
 	p.Reg(1)
 	old := p.Swap(l.word, adHeld)
 	p.Branch(2)
-	l.fastAttempts++
+	c.fastAttempts++
 	if old == adFree {
 		return true
 	}
-	l.fastFailures++
+	c.fastFailures++
 	if old == adGranted {
 		p.Store(l.word, adGranted)
 	}

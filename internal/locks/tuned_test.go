@@ -73,8 +73,12 @@ func TestTunedZeroContentionConvergence(t *testing.T) {
 	if c.BackoffCap() != c.Params().MinCap {
 		t.Fatalf("cap = %v, want MinCap %v", c.BackoffCap(), c.Params().MinCap)
 	}
-	if l.fastFailures != 0 {
-		t.Fatalf("fast-path failures = %d, want 0", l.fastFailures)
+	var fastFailures uint64
+	for i := range l.counts {
+		fastFailures += l.counts[i].fastFailures
+	}
+	if fastFailures != 0 {
+		t.Fatalf("fast-path failures = %d, want 0", fastFailures)
 	}
 	if c.Switches() != 0 {
 		t.Fatalf("mode switches = %d, want 0", c.Switches())

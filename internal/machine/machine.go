@@ -48,5 +48,34 @@ func NUMAchine64(seed uint64) sim.Config {
 	}
 }
 
+// NUMAchine256 scales the §5.3 sketch to the regime the paper never
+// reached: 32 stations of 8 processors grouped 4 stations per local ring,
+// the 8 local rings joined by one global ring (the NUMAchine hierarchy).
+// Within-group remote accesses keep the NUMAchine64 ring cost; cross-group
+// accesses traverse local ring, global ring and the remote local ring at
+// Ring2. Dense sweeps at this size need the parallel engine — set
+// Config.Workers before building.
+func NUMAchine256(seed uint64) sim.Config {
+	c := NUMAchine64(seed)
+	c.Stations = 32
+	c.StationsPerRing = 4
+	c.Lat.Ring2 = 150
+	return c
+}
+
+// NUMAchine1024 is the full-scale target of the NUMAchine proposal: 64
+// stations of 16 processors, 8 stations per local ring, 8 local rings on
+// the global ring. Ring costs grow with the larger rings (more hops per
+// revolution).
+func NUMAchine1024(seed uint64) sim.Config {
+	c := NUMAchine64(seed)
+	c.Stations = 64
+	c.ProcsPerStation = 16
+	c.StationsPerRing = 8
+	c.Lat.Ring = 100
+	c.Lat.Ring2 = 160
+	return c
+}
+
 // New builds a machine from a config (convenience wrapper).
 func New(cfg sim.Config) *sim.Machine { return sim.NewMachine(cfg) }

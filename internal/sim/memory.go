@@ -26,6 +26,11 @@ type Latency struct {
 	// Local, Station, Ring are uncontended round-trip times for a single
 	// memory access at each topological distance.
 	Local, Station, Ring Duration
+	// Ring2 is the uncontended round trip of an access that crosses the
+	// global ring of a multi-level ring hierarchy (Config.StationsPerRing).
+	// Zero defaults to 2x Ring when a hierarchy is configured; flat machines
+	// ignore it.
+	Ring2 Duration
 	// ModuleService is how long one access occupies the target module.
 	ModuleService Duration
 	// BusService is how long an off-module access occupies a station bus.
@@ -66,14 +71,35 @@ func DefaultLatency() Latency {
 // one bus per station, and a ring connecting stations. Every access queues
 // at the resources along its path, so contention at any of them delays the
 // access and everyone behind it.
+//
+// With Config.StationsPerRing set, stations are grouped onto local rings
+// joined by one global ring (the NUMAchine hierarchy): a cross-station
+// access inside a group traverses its local ring at the Ring latency, while
+// a cross-group access traverses local ring, global ring, and the remote
+// local ring at the Ring2 latency. Flat machines keep the original
+// single-ring path bit for bit.
 type Memory struct {
 	eng             *Engine
 	lat             Latency
 	procsPerStation int
+	// stationsPerRing groups stations onto local rings (0 = flat).
+	stationsPerRing int
 
 	modules []Resource
 	buses   []Resource
-	ring    Resource
+	// ring is the single ring of a flat machine, and the global ring of a
+	// multi-level hierarchy.
+	ring Resource
+	// localRings is one ring per station group (nil on flat machines).
+	localRings []Resource
+	// ringPorts exist only in parallel (LP) mode: one per-station port onto
+	// the ring fabric, owned by that station's logical process, approximating
+	// the shared ring(s) with station-local injection queues (a slotted ring
+	// admits one outstanding transfer per station port).
+	ringPorts []Resource
+	// par is non-nil when the machine runs the conservative parallel engine;
+	// cross-station accesses then travel as inter-LP messages.
+	par *parSim
 
 	// data holds one word slice per address-space index: the physical
 	// modules first, then any migratable regions (see NewRegion). homes maps
@@ -81,9 +107,13 @@ type Memory struct {
 	// prefix for the physical modules themselves, and the migration target
 	// for regions. Re-pointing a region's home entry IS the migration; the
 	// words never move, only the traffic does.
-	data     [][]uint64
-	homes    []int
-	watchers map[Addr]watchList
+	data  [][]uint64
+	homes []int
+	// watchers is sharded by the watched word's station (regions, which can
+	// migrate between stations, share one extra shard): in parallel mode a
+	// shard is touched only by its owning logical process, and in serial
+	// mode the sharding is invisible (lookups are by exact address).
+	watchers []map[Addr]watchList
 }
 
 // watchList is an intrusive FIFO of processors sleeping on a write-watch,
@@ -93,17 +123,34 @@ type watchList struct {
 }
 
 // newMemory builds the memory system for nStations*procsPerStation
-// processor-memory modules.
-func newMemory(eng *Engine, nStations, procsPerStation int, lat Latency) *Memory {
+// processor-memory modules. stationsPerRing > 0 groups stations onto local
+// rings under one global ring; 0 keeps the flat single-ring machine.
+func newMemory(eng *Engine, nStations, procsPerStation, stationsPerRing int, lat Latency) *Memory {
 	n := nStations * procsPerStation
+	if stationsPerRing >= nStations || stationsPerRing < 0 {
+		stationsPerRing = 0 // one group is just the flat machine
+	}
+	if stationsPerRing > 0 && nStations%stationsPerRing != 0 {
+		panic(fmt.Sprintf("sim: %d stations do not divide into rings of %d", nStations, stationsPerRing))
+	}
 	m := &Memory{
 		eng:             eng,
 		lat:             lat,
 		procsPerStation: procsPerStation,
+		stationsPerRing: stationsPerRing,
 		modules:         make([]Resource, n),
 		buses:           make([]Resource, nStations),
 		data:            make([][]uint64, n),
-		watchers:        make(map[Addr]watchList),
+		watchers:        make([]map[Addr]watchList, nStations+1),
+	}
+	if stationsPerRing > 0 {
+		if m.lat.Ring2 == 0 {
+			m.lat.Ring2 = 2 * m.lat.Ring
+		}
+		m.localRings = make([]Resource, nStations/stationsPerRing)
+		for i := range m.localRings {
+			m.localRings[i].Name = fmt.Sprintf("ring%d", i)
+		}
 	}
 	m.homes = make([]int, n)
 	for i := range m.modules {
@@ -116,8 +163,30 @@ func newMemory(eng *Engine, nStations, procsPerStation int, lat Latency) *Memory
 	for i := range m.buses {
 		m.buses[i].Name = fmt.Sprintf("bus%d", i)
 	}
+	for i := range m.watchers {
+		m.watchers[i] = make(map[Addr]watchList)
+	}
 	m.ring.Name = "ring"
 	return m
+}
+
+// groupOf reports the local-ring group of a station (0 on flat machines).
+func (m *Memory) groupOf(station int) int {
+	if m.stationsPerRing == 0 {
+		return 0
+	}
+	return station / m.stationsPerRing
+}
+
+// watchShard picks the watcher shard for an address: the station of the
+// word's (raw) module, which never changes, or the spare last shard for
+// migratable regions, whose physical home can move mid-watch.
+func (m *Memory) watchShard(a Addr) map[Addr]watchList {
+	mod := a.Module()
+	if mod >= len(m.modules) {
+		return m.watchers[len(m.buses)]
+	}
+	return m.watchers[m.stationOf(mod)]
 }
 
 // NumModules reports the number of processor-memory modules.
@@ -129,6 +198,9 @@ func (m *Memory) NumModules() int { return len(m.modules) }
 // Addresses in a region are stable for the region's lifetime; MigrateRegion
 // re-points which physical module serves them.
 func (m *Memory) NewRegion(phys int) int {
+	if m.par != nil {
+		panic("sim: migratable regions are not supported in parallel mode")
+	}
 	if phys < 0 || phys >= len(m.modules) {
 		panic(fmt.Sprintf("sim: NewRegion on module %d of %d", phys, len(m.modules)))
 	}
@@ -170,6 +242,9 @@ func (m *Memory) RegionWords(id int) int {
 // It reports the words copied and the stall charged to p. Migrating to the
 // current home is free. Physical modules cannot migrate.
 func (m *Memory) MigrateRegion(p *Proc, region, to int) (words int, cost Duration) {
+	if m.par != nil {
+		panic("sim: MigrateRegion is not supported in parallel mode")
+	}
 	if region < len(m.modules) || region >= len(m.data) {
 		panic(fmt.Sprintf("sim: MigrateRegion of non-region %d", region))
 	}
@@ -190,10 +265,21 @@ func (m *Memory) MigrateRegion(p *Proc, region, to int) (words int, cost Duratio
 		base = m.lat.Station
 		t = m.buses[m.stationOf(to)].Acquire(t, m.lat.BusService*w)
 	} else {
-		base = m.lat.Ring
-		t = m.buses[m.stationOf(from)].Acquire(t, m.lat.BusService*w)
-		t = m.ring.Acquire(t, m.lat.RingService*w)
-		t = m.buses[m.stationOf(to)].Acquire(t, m.lat.BusService*w)
+		fs, ts := m.stationOf(from), m.stationOf(to)
+		t = m.buses[fs].Acquire(t, m.lat.BusService*w)
+		if m.localRings == nil {
+			base = m.lat.Ring
+			t = m.ring.Acquire(t, m.lat.RingService*w)
+		} else if gf, gt := m.groupOf(fs), m.groupOf(ts); gf == gt {
+			base = m.lat.Ring
+			t = m.localRings[gf].Acquire(t, m.lat.RingService*w)
+		} else {
+			base = m.lat.Ring2
+			t = m.localRings[gf].Acquire(t, m.lat.RingService*w)
+			t = m.ring.Acquire(t, m.lat.RingService*w)
+			t = m.localRings[gt].Acquire(t, m.lat.RingService*w)
+		}
+		t = m.buses[ts].Acquire(t, m.lat.BusService*w)
 	}
 	t = m.modules[to].Acquire(t, m.lat.ModuleService*w)
 	done := t + m.lat.ModuleService*w + base
@@ -204,6 +290,10 @@ func (m *Memory) MigrateRegion(p *Proc, region, to int) (words int, cost Duratio
 }
 
 func (m *Memory) stationOf(module int) int { return module / m.procsPerStation }
+
+// StationOf reports the station of an address-space index (physical module
+// or region id, which resolves to its current physical home).
+func (m *Memory) StationOf(i int) int { return m.stationOf(m.Home(i)) }
 
 // Alloc reserves n words of zeroed memory on the given module and returns
 // the address of the first word. Allocation itself is free (it models
@@ -260,7 +350,8 @@ func (m *Memory) Ring() *Resource { return &m.ring }
 
 // ResetStats opens a fresh accounting window on every resource at the
 // current simulated time, clearing the utilization counters. Utilization
-// read afterwards covers only activity since this call.
+// read afterwards covers only activity since this call. In parallel mode
+// call it only while the workers are quiesced (before Run or at a barrier).
 func (m *Memory) ResetStats() {
 	now := m.eng.Now()
 	for i := range m.modules {
@@ -269,17 +360,30 @@ func (m *Memory) ResetStats() {
 	for i := range m.buses {
 		m.buses[i].ResetStats(now)
 	}
+	for i := range m.localRings {
+		m.localRings[i].ResetStats(now)
+	}
+	for i := range m.ringPorts {
+		m.ringPorts[i].ResetStats(now)
+	}
 	m.ring.ResetStats(now)
 }
 
-// Resources calls fn for every memory-system resource (modules, then
-// buses, then the ring), for utilization reports.
+// Resources calls fn for every memory-system resource (modules, then buses,
+// then local rings and ring ports if present, then the ring), for
+// utilization reports.
 func (m *Memory) Resources(fn func(*Resource)) {
 	for i := range m.modules {
 		fn(&m.modules[i])
 	}
 	for i := range m.buses {
 		fn(&m.buses[i])
+	}
+	for i := range m.localRings {
+		fn(&m.localRings[i])
+	}
+	for i := range m.ringPorts {
+		fn(&m.ringPorts[i])
 	}
 	fn(&m.ring)
 }
@@ -303,7 +407,12 @@ var accessNames = [...]string{accLoad: "load", accStore: "store", accSwap: "swap
 func (m *Memory) access(p *Proc, a Addr, kind accessKind, operand, expect uint64) (old uint64, done Time, ok bool) {
 	src := p.module
 	dst := m.homes[a.Module()] // resolve region → current physical home
-	now := m.eng.Now()
+	if m.par != nil && m.stationOf(src) != m.stationOf(dst) {
+		// Parallel mode: the access leaves this station's logical process
+		// and travels as a timestamped inter-LP message (see parallel.go).
+		return m.par.remoteAccess(p, a, kind, operand, expect)
+	}
+	now := p.eng.Now()
 	t := now
 
 	// An atomic read-modify-write is two memory transactions on HECTOR:
@@ -324,18 +433,29 @@ func (m *Memory) access(p *Proc, a Addr, kind accessKind, operand, expect uint64
 		base = m.lat.Station
 		t = m.buses[m.stationOf(dst)].Acquire(t, m.lat.BusService*nAcc)
 	default:
-		base = m.lat.Ring
-		t = m.buses[m.stationOf(src)].Acquire(t, m.lat.BusService*nAcc)
-		t = m.ring.Acquire(t, m.lat.RingService*nAcc)
-		t = m.buses[m.stationOf(dst)].Acquire(t, m.lat.BusService*nAcc)
+		ss, ds := m.stationOf(src), m.stationOf(dst)
+		t = m.buses[ss].Acquire(t, m.lat.BusService*nAcc)
+		if m.localRings == nil {
+			base = m.lat.Ring
+			t = m.ring.Acquire(t, m.lat.RingService*nAcc)
+		} else if gs, gd := m.groupOf(ss), m.groupOf(ds); gs == gd {
+			base = m.lat.Ring
+			t = m.localRings[gs].Acquire(t, m.lat.RingService*nAcc)
+		} else {
+			base = m.lat.Ring2
+			t = m.localRings[gs].Acquire(t, m.lat.RingService*nAcc)
+			t = m.ring.Acquire(t, m.lat.RingService*nAcc)
+			t = m.localRings[gd].Acquire(t, m.lat.RingService*nAcc)
+		}
+		t = m.buses[ds].Acquire(t, m.lat.BusService*nAcc)
 	}
 	t = m.modules[dst].Acquire(t, m.lat.ModuleService*nAcc)
 
 	queueDelay := t - now
 	done = now + queueDelay + base + extra
 
-	if m.eng.tracer != nil {
-		m.eng.tracer.Event(TraceEvent{
+	if p.eng.tracer != nil {
+		p.eng.tracer.Event(TraceEvent{
 			Kind: EvAccess, Name: accessNames[kind], Proc: p.id,
 			Start: now, End: done,
 			Src: src, Dst: dst, Dist: m.Distance(src, dst), Arg: uint64(a),
@@ -369,14 +489,15 @@ func (m *Memory) access(p *Proc, a Addr, kind accessKind, operand, expect uint64
 func (m *Memory) watch(a Addr, p *Proc) {
 	p.watching = true
 	p.watchNext = nil
-	l := m.watchers[a]
+	shard := m.watchShard(a)
+	l := shard[a]
 	if l.tail == nil {
 		l.head, l.tail = p, p
 	} else {
 		l.tail.watchNext = p
 		l.tail = p
 	}
-	m.watchers[a] = l
+	shard[a] = l
 }
 
 // unwatch removes p from the watcher list of a. A write-wake already
@@ -387,7 +508,8 @@ func (m *Memory) unwatch(a Addr, p *Proc) {
 		return
 	}
 	p.watching = false
-	l := m.watchers[a]
+	shard := m.watchShard(a)
+	l := shard[a]
 	var prev *Proc
 	for q := l.head; q != nil; prev, q = q, q.watchNext {
 		if q != p {
@@ -405,18 +527,19 @@ func (m *Memory) unwatch(a Addr, p *Proc) {
 		break
 	}
 	if l.head == nil {
-		delete(m.watchers, a)
+		delete(shard, a)
 	} else {
-		m.watchers[a] = l
+		shard[a] = l
 	}
 }
 
 func (m *Memory) wakeWatchers(a Addr, at Time) {
-	l, ok := m.watchers[a]
+	shard := m.watchShard(a)
+	l, ok := shard[a]
 	if !ok {
 		return
 	}
-	delete(m.watchers, a)
+	delete(shard, a)
 	for p := l.head; p != nil; {
 		next := p.watchNext
 		p.watchNext = nil

@@ -3,16 +3,22 @@ package sim
 import "fmt"
 
 // DistClass is the topological distance of a memory access on the simulated
-// machine: same processor-memory module, same station, or across the ring.
-// It is the unit the paper reasons in — "remote" spinning is anything past
-// DistLocal.
+// machine: same processor-memory module, same station, across a local ring,
+// or — on machines with a multi-level ring hierarchy — across the global
+// ring connecting ring groups. It is the unit the paper reasons in —
+// "remote" spinning is anything past DistLocal. Flat (single-ring) machines
+// never produce DistGlobal.
 type DistClass int
 
 const (
 	DistLocal DistClass = iota
 	DistStation
 	DistRing
+	DistGlobal
 )
+
+// NumDistClasses sizes arrays indexed by DistClass.
+const NumDistClasses = 4
 
 // String names the distance class for reports and trace args.
 func (d DistClass) String() string {
@@ -23,6 +29,8 @@ func (d DistClass) String() string {
 		return "station"
 	case DistRing:
 		return "ring"
+	case DistGlobal:
+		return "global"
 	}
 	return fmt.Sprintf("DistClass(%d)", int(d))
 }
@@ -38,8 +46,10 @@ func (m *Memory) Distance(src, dst int) DistClass {
 		return DistLocal
 	case m.stationOf(src) == m.stationOf(dst):
 		return DistStation
-	default:
+	case m.localRings == nil || m.groupOf(m.stationOf(src)) == m.groupOf(m.stationOf(dst)):
 		return DistRing
+	default:
+		return DistGlobal
 	}
 }
 
@@ -201,8 +211,16 @@ func (e *Engine) Emit(ev TraceEvent) {
 	}
 }
 
-// SetTracer installs the tracer on the machine's engine.
-func (m *Machine) SetTracer(t Tracer) { m.Eng.SetTracer(t) }
+// SetTracer installs the tracer on the machine's engine. The parallel
+// engine does not support tracing (a sink would be written from every
+// worker goroutine); rerun a configuration of interest with Workers == 0 to
+// trace it.
+func (m *Machine) SetTracer(t Tracer) {
+	if m.par != nil && t != nil {
+		panic("sim: tracing is not supported in parallel mode")
+	}
+	m.Eng.SetTracer(t)
+}
 
 // Tracing reports whether a tracer is installed — instrumentation checks
 // this before building span names, so disabled tracing costs nothing.

@@ -19,7 +19,7 @@ type Aggregate struct {
 	// processor/module src.
 	Access [][]uint64
 	// AccessByDist totals accesses by distance class.
-	AccessByDist [3]uint64
+	AccessByDist [sim.NumDistClasses]uint64
 	// RegionAccess[region][src] counts accesses addressed to a migratable
 	// region (virtual module id ≥ modules, recovered from the event's raw
 	// address) by accessor module src. Two regions sharing one physical
@@ -49,7 +49,7 @@ type ObjStats struct {
 	// BySrc counts spans by the emitting processor's module.
 	BySrc []uint64
 	// ByDist counts spans by src→home distance class.
-	ByDist [3]uint64
+	ByDist [sim.NumDistClasses]uint64
 }
 
 // NewAggregate builds an aggregator for a machine with the given number of
@@ -141,7 +141,10 @@ func (a *Aggregate) SortedObjects() []*ObjStats {
 // busiest span objects.
 func (a *Aggregate) Summary() string {
 	var b strings.Builder
-	total := a.AccessByDist[0] + a.AccessByDist[1] + a.AccessByDist[2]
+	var total uint64
+	for _, n := range a.AccessByDist {
+		total += n
+	}
 	fmt.Fprintf(&b, "events: %d accesses, %d spans, %d irqs\n",
 		a.EventCount[sim.EvAccess], a.EventCount[sim.EvSpan], a.EventCount[sim.EvIRQ])
 	if total > 0 {
@@ -149,6 +152,9 @@ func (a *Aggregate) Summary() string {
 			a.AccessByDist[sim.DistLocal], 100*float64(a.AccessByDist[sim.DistLocal])/float64(total),
 			a.AccessByDist[sim.DistStation], 100*float64(a.AccessByDist[sim.DistStation])/float64(total),
 			a.AccessByDist[sim.DistRing], 100*float64(a.AccessByDist[sim.DistRing])/float64(total))
+		if g := a.AccessByDist[sim.DistGlobal]; g > 0 {
+			fmt.Fprintf(&b, "accesses crossing the global ring: %d (%.0f%%)\n", g, 100*float64(g)/float64(total))
+		}
 	}
 	type hot struct {
 		module int

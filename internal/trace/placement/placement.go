@@ -97,7 +97,7 @@ type Proposal struct {
 	CurCost, NewCost float64
 	// CurByDist and NewByDist split Weight by distance class at the
 	// current and proposed home.
-	CurByDist, NewByDist [3]uint64
+	CurByDist, NewByDist [sim.NumDistClasses]uint64
 }
 
 // Moved reports whether the proposal is an actual move.
@@ -183,7 +183,7 @@ func propose(object string, home int, vector []uint64, topo Topo, costs Costs, l
 		}
 		return c
 	}
-	byDist := func(cand int) (d [3]uint64) {
+	byDist := func(cand int) (d [sim.NumDistClasses]uint64) {
 		for src, cnt := range vector {
 			if cnt == 0 || src >= n {
 				continue
@@ -267,10 +267,13 @@ func (r *Report) String() string {
 	return b.String()
 }
 
-func ringPct(d [3]uint64) float64 {
-	tot := d[0] + d[1] + d[2]
+func ringPct(d [sim.NumDistClasses]uint64) float64 {
+	var tot uint64
+	for _, n := range d {
+		tot += n
+	}
 	if tot == 0 {
 		return 0
 	}
-	return 100 * float64(d[sim.DistRing]) / float64(tot)
+	return 100 * float64(d[sim.DistRing]+d[sim.DistGlobal]) / float64(tot)
 }

@@ -38,10 +38,11 @@ func Attach(eng *sim.Engine, home *sim.Resource, probe func() Counters, c *Contr
 			Now:      now,
 			HomeUtil: float64(busy-lastBusy) / float64(now-lastTime),
 			Lock: Counters{
-				Attempts:     cur.Attempts - last.Attempts,
-				Failures:     cur.Failures - last.Failures,
-				Acquisitions: cur.Acquisitions - last.Acquisitions,
-				WaitCycles:   cur.WaitCycles - last.WaitCycles,
+				Attempts:           cur.Attempts - last.Attempts,
+				Failures:           cur.Failures - last.Failures,
+				Acquisitions:       cur.Acquisitions - last.Acquisitions,
+				WaitCycles:         cur.WaitCycles - last.WaitCycles,
+				RemoteAcquisitions: cur.RemoteAcquisitions - last.RemoteAcquisitions,
 			},
 		}
 		c.Observe(s)

@@ -105,6 +105,24 @@ type Params struct {
 	// hierarchical machines, so it is reachable only when Stations > 1
 	// (default 1: disabled).
 	Stations int
+	// RingFrac is the smoothed cross-station acquisition fraction above
+	// which a saturated queue-mode lock escalates to cohort mode (default
+	// 0.5). The fraction is measured ring traffic — the share of
+	// acquisitions arriving from stations other than the lock's home — so
+	// the escalation fires only when ring-crossing hand-offs really are the
+	// traffic, not merely because the machine has stations to spare.
+	RingFrac float64
+	// CohortWait is the ring-bound escalation threshold (default 2ms, the
+	// unconstrained spin stance's largest backoff): in queue mode, a
+	// smoothed mean acquire wait at or above it while ring traffic exceeds
+	// RingFrac escalates to cohort mode even though the home module looks
+	// idle. On a large machine the ring serializes hand-offs while the
+	// home module sleeps, so the utilization signal alone reads that
+	// regime as "contention gone" and thrashes queue<->spin. It is an
+	// absolute duration, deliberately not tied to MaxCap: a
+	// latency-bounded deployment clamps MaxCap far below any wait that
+	// should force the cohort shape.
+	CohortWait sim.Duration
 	// DwellWindows is the minimum number of observation windows between
 	// mode switches (default 4 — the EWMA horizon). A switch resets the
 	// smoothed signals, and the dwell holds the new mode until the fresh
@@ -144,6 +162,12 @@ func (p Params) withDefaults() Params {
 	if p.Stations == 0 {
 		p.Stations = 1
 	}
+	if p.RingFrac == 0 {
+		p.RingFrac = 0.5
+	}
+	if p.CohortWait == 0 {
+		p.CohortWait = sim.Micros(2000)
+	}
 	if p.DwellWindows == 0 {
 		p.DwellWindows = 4
 	}
@@ -176,6 +200,10 @@ type Counters struct {
 	// their total acquire latency in cycles.
 	Acquisitions uint64
 	WaitCycles   sim.Duration
+	// RemoteAcquisitions counts the subset of Acquisitions made by
+	// processors on a different station than the lock's home — the
+	// ring-traffic signal the queue→cohort escalation feeds on.
+	RemoteAcquisitions uint64
 }
 
 // Sample is one observation window delivered to Observe: the home module's
@@ -206,6 +234,7 @@ type Decision struct {
 	UtilEWMA float64
 	WaitUS   float64
 	FailFrac float64
+	RingFrac float64
 	Cap      sim.Duration
 	Head     sim.Duration
 	Mode     Mode
@@ -231,6 +260,17 @@ type Controller struct {
 	// windows in which nothing completes.
 	waitNum, waitDen float64
 	waitUS           float64
+	// ringNum and ringDen decay remote and total acquisitions over the same
+	// horizon; ringFrac is their ratio — the measured share of acquisitions
+	// arriving from off-home stations, the queue→cohort escalation signal.
+	ringNum, ringDen float64
+	ringFrac         float64
+	// attEWMA decays windowed lock attempts over the same horizon. Its job
+	// is to tell "idle" apart from "wedged": a queue forming behind a
+	// convoy shows polling attempts with no completed acquisitions, while
+	// a genuinely idle lock shows neither — only the latter may walk the
+	// mode chain back down.
+	attEWMA float64
 	// utilEWMA smooths home-module utilization over the same horizon.
 	// Windowed spin-lock utilization is bimodal too: each completed
 	// acquisition restarts the winner's backoff at 1us, so windows catching
@@ -272,6 +312,9 @@ func (c *Controller) HeadBackoff() sim.Duration { return c.head }
 
 // Switches reports how many spin<->queue transitions have occurred.
 func (c *Controller) Switches() uint64 { return c.switches }
+
+// RingFrac reports the smoothed cross-station acquisition fraction.
+func (c *Controller) RingFrac() float64 { return c.ringFrac }
 
 // Samples reports how many observation windows have been consumed.
 func (c *Controller) Samples() uint64 { return c.samples }
@@ -334,10 +377,14 @@ func (p Params) nextHead(prev sim.Duration, util float64) sim.Duration {
 // spinning is abandoned only when the home module stays saturated with the
 // cap already at MaxCap — i.e. when backing off further is impossible and
 // the module still has no headroom — and queue mode escalates to the
-// hierarchical cohort shape (multi-station machines only) when sustained
-// saturation persists even with all waiting spinning locally, the sign
-// that ring-crossing hand-offs themselves are the traffic. Each retreat
-// happens when smoothed utilization falls through SatLow.
+// hierarchical cohort shape (multi-station machines only) when the
+// ring-traffic signal shows that ring-crossing hand-offs themselves are the
+// traffic — either alongside sustained saturation, or alone once the mean
+// wait passes CohortWait (on a large machine the ring serializes hand-offs
+// while the home module idles, so utilization alone never sees this
+// regime). Retreats require smoothed utilization through SatLow and
+// evidence that the calm is real: attempts still arriving without
+// completions mean a queue is forming, not that the lock is idle.
 //
 // A mode switch resets the decayed wait sums and the utilization EWMA:
 // they were measured under the old mode's protocol, and letting them bleed
@@ -354,6 +401,12 @@ func (c *Controller) Observe(s Sample) {
 	if c.waitDen >= waitDenFloor {
 		c.waitUS = c.waitNum / c.waitDen / sim.CyclesPerMicrosecond
 	}
+	c.ringNum = waitDecay*c.ringNum + float64(s.Lock.RemoteAcquisitions)
+	c.ringDen = waitDecay*c.ringDen + float64(s.Lock.Acquisitions)
+	if c.ringDen >= waitDenFloor {
+		c.ringFrac = c.ringNum / c.ringDen
+	}
+	c.attEWMA = waitDecay*c.attEWMA + float64(s.Lock.Attempts)
 	c.utilEWMA = waitDecay*c.utilEWMA + (1-waitDecay)*s.HomeUtil
 	util := c.utilEWMA
 	atMax := c.cap == c.p.MaxCap
@@ -362,6 +415,20 @@ func (c *Controller) Observe(s Sample) {
 	if c.dwellLeft > 0 {
 		c.dwellLeft--
 	} else {
+		// ringBound: most acquisitions arrive over the ring AND the mean
+		// wait is past the CohortWait threshold. Home-module utilization
+		// cannot see this regime — on a large machine the ring serializes
+		// hand-offs while the home module idles — so without this signal
+		// the controller reads the idle module as "contention gone" and
+		// thrashes queue<->spin forever.
+		ringBound := c.p.Stations > 1 && c.ringFrac >= c.p.RingFrac &&
+			c.waitUS >= c.p.CohortWait.Microseconds()
+		// wedged: attempts keep arriving but nothing completes — a queue
+		// still forming behind a convoy, not an idle lock. A low home-module
+		// reading in this state means the ring (or the queue hand-off
+		// chain), not the workload, is the bottleneck; retreating to spin on
+		// it would re-create the convoy that wedged the lock.
+		wedged := c.attEWMA >= 1 && c.ringDen < waitDenFloor
 		switch c.mode {
 		case ModeSpin:
 			if util >= c.p.SatHigh && atMax {
@@ -369,13 +436,27 @@ func (c *Controller) Observe(s Sample) {
 			}
 		case ModeQueue:
 			switch {
-			case util >= c.p.SatHigh && c.p.Stations > 1:
+			case ringBound,
+				util >= c.p.SatHigh && c.p.Stations > 1 && c.ringFrac >= c.p.RingFrac:
+				// Saturated with local-only spinning AND most acquisitions
+				// arrive over the ring: hand-off traffic itself is the load,
+				// which is what station-batched cohort grants relieve.
 				c.mode = ModeCohort
-			case util <= c.p.SatLow:
+			case util <= c.p.SatLow && !wedged && c.waitUS <= c.cap.Microseconds():
+				// Retreat to spin only when the waits actually being served
+				// fit under the backoff cap the spin stance would resume
+				// with; a wait the cap cannot absorb means the low module
+				// reading is drain, not idleness.
 				c.mode = ModeSpin
 			}
 		case ModeCohort:
-			if util <= c.p.SatLow {
+			// The ring signal cannot arbitrate a cohort retreat: station
+			// batching makes whole windows read all-local or all-remote by
+			// construction. Retreat on the wait signal instead, with a
+			// half-threshold hysteresis band under the CohortWait that
+			// forced the escalation.
+			if util <= c.p.SatLow && !wedged &&
+				c.waitUS < c.p.CohortWait.Microseconds()/2 {
 				c.mode = ModeQueue
 			}
 		}
@@ -386,13 +467,18 @@ func (c *Controller) Observe(s Sample) {
 		// mass (the estimate freezes until fresh acquisitions arrive) and
 		// restart the utilization EWMA from the neutral mid-band.
 		c.waitNum, c.waitDen = 0, 0
+		c.ringNum, c.ringDen, c.ringFrac = 0, 0, 0
+		// attEWMA is deliberately NOT reset: it only ever blocks a retreat,
+		// and the attempts backlog it carries across a switch is exactly the
+		// evidence that waiters from the old mode are still in flight.
 		c.utilEWMA = (c.p.SatLow + c.p.SatHigh) / 2
 		c.dwellLeft = c.p.DwellWindows
 	}
 	if c.p.LogLimit > 0 && len(c.log) < c.p.LogLimit {
 		c.log = append(c.log, Decision{
 			At: s.Now, HomeUtil: s.HomeUtil, UtilEWMA: util, WaitUS: c.waitUS,
-			FailFrac: s.failFrac(), Cap: c.cap, Head: c.head, Mode: c.mode,
+			FailFrac: s.failFrac(), RingFrac: c.ringFrac,
+			Cap: c.cap, Head: c.head, Mode: c.mode,
 		})
 	}
 }
@@ -413,8 +499,9 @@ func (c *Controller) Report() string {
 			prev = d
 			continue
 		}
-		fmt.Fprintf(&b, "  t=%-12v util %4.0f%% (ewma %3.0f%%)  wait %7.1fus  cap %6.0fus  head %4.0fus  %s\n",
-			d.At, d.HomeUtil*100, d.UtilEWMA*100, d.WaitUS, d.Cap.Microseconds(), d.Head.Microseconds(), d.Mode)
+		fmt.Fprintf(&b, "  t=%-12v util %4.0f%% (ewma %3.0f%%)  wait %7.1fus  ring %3.0f%%  cap %6.0fus  head %4.0fus  %s\n",
+			d.At, d.HomeUtil*100, d.UtilEWMA*100, d.WaitUS, d.RingFrac*100,
+			d.Cap.Microseconds(), d.Head.Microseconds(), d.Mode)
 		prev = d
 		shown++
 		if shown >= 32 {

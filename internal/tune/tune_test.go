@@ -209,14 +209,17 @@ func TestHysteresisOneSwitchPerDwell(t *testing.T) {
 
 // TestEscalatesToCohortUnderSustainedSaturation pins the third controller
 // mode: when queue mode leaves the home module saturated on a multi-station
-// machine, the controller escalates to the hierarchical cohort shape; on a
-// single-station machine it never does; and sustained idle walks the chain
-// back down cohort → queue → spin.
+// machine AND the acquisition stream is mostly cross-station (the measured
+// ring-traffic signal), the controller escalates to the hierarchical cohort
+// shape; with mostly-local traffic or on a single-station machine it never
+// does; and sustained idle walks the chain back down cohort → queue → spin.
 func TestEscalatesToCohortUnderSustainedSaturation(t *testing.T) {
+	// Saturated queue mode whose acquisitions nearly all cross the ring.
+	remote := Counters{Acquisitions: 8, RemoteAcquisitions: 7}
 	c := NewController(Params{Stations: 8})
-	saturateToQueue(t, c, Counters{})
+	saturateToQueue(t, c, remote)
 	for i := 0; c.Mode() != ModeCohort; i++ {
-		c.Observe(Sample{HomeUtil: 0.95})
+		c.Observe(Sample{HomeUtil: 0.95, Lock: remote})
 		if i > 100 {
 			t.Fatal("never escalated to cohort mode under sustained queue-mode saturation")
 		}
@@ -235,14 +238,82 @@ func TestEscalatesToCohortUnderSustainedSaturation(t *testing.T) {
 		t.Fatalf("switches = %d, want 4 (cohort->queue->spin retreat)", c.Switches())
 	}
 
-	// Single-station machine: cohort mode is unreachable.
+	// Single-station machine: cohort mode is unreachable even with the
+	// ring signal asserted.
 	c1 := NewController(Params{})
-	saturateToQueue(t, c1, Counters{})
+	saturateToQueue(t, c1, remote)
 	for i := 0; i < 50; i++ {
-		c1.Observe(Sample{HomeUtil: 0.95})
+		c1.Observe(Sample{HomeUtil: 0.95, Lock: remote})
 	}
 	if c1.Mode() != ModeQueue {
 		t.Fatalf("single-station controller left queue mode: %v", c1.Mode())
+	}
+
+	// Multi-station machine whose saturating traffic is station-local:
+	// cohort batching would relieve nothing, so the measured ring fraction
+	// must hold the controller in queue mode (the old static station-count
+	// check would have escalated here).
+	local := Counters{Acquisitions: 8, RemoteAcquisitions: 1}
+	c2 := NewController(Params{Stations: 8})
+	saturateToQueue(t, c2, local)
+	for i := 0; i < 50; i++ {
+		c2.Observe(Sample{HomeUtil: 0.95, Lock: local})
+	}
+	if c2.Mode() != ModeQueue {
+		t.Fatalf("local-traffic controller left queue mode: %v", c2.Mode())
+	}
+}
+
+// TestRingBoundEscalationWithIdleHomeModule pins the large-machine regime
+// the NUMAchine-256 sweep exposed: in queue mode the ring serializes
+// hand-offs while the home module idles, so utilization reads near zero
+// for the whole episode. The controller must (a) hold queue mode through
+// the dead windows where attempts arrive but nothing completes — a queue
+// forming, not an idle lock — (b) escalate to cohort on the ring signal
+// alone once the measured mean wait passes CohortWait, never dipping
+// through spin, (c) hold cohort while waits stay above the hysteresis
+// band even when station batching makes windows read all-local, and
+// (d) retreat once waits genuinely collapse.
+func TestRingBoundEscalationWithIdleHomeModule(t *testing.T) {
+	c := NewController(Params{Stations: 16})
+	saturateToQueue(t, c, Counters{})
+	// Dead windows: waiters pile in (queue-head polls register attempts)
+	// but nothing completes and the home module reads idle.
+	for i := 0; i < 30; i++ {
+		c.Observe(Sample{HomeUtil: 0.02, Lock: Counters{Attempts: 6}})
+		if c.Mode() != ModeQueue {
+			t.Fatalf("window %d: left queue mode during queue formation: %v", i, c.Mode())
+		}
+	}
+	// Completions arrive, nearly all remote, with 2500us waits — past the
+	// 2ms CohortWait default and past any spin cap. The module still idles.
+	long := Counters{Attempts: 6, Acquisitions: 4, RemoteAcquisitions: 4,
+		WaitCycles: sim.Micros(2500 * 4)}
+	for i := 0; c.Mode() != ModeCohort; i++ {
+		c.Observe(Sample{HomeUtil: 0.05, Lock: long})
+		if c.Mode() == ModeSpin {
+			t.Fatal("retreated to spin under waits the backoff cap cannot absorb")
+		}
+		if i > 50 {
+			t.Fatal("never escalated to cohort on the ring-bound signal")
+		}
+	}
+	// Cohort holds while waits stay above CohortWait/2, even though station
+	// batching now makes every window read all-local.
+	held := Counters{Attempts: 6, Acquisitions: 4, WaitCycles: sim.Micros(1500 * 4)}
+	for i := 0; i < 30; i++ {
+		c.Observe(Sample{HomeUtil: 0.05, Lock: held})
+	}
+	if c.Mode() != ModeCohort {
+		t.Fatalf("cohort retreated with waits above the hysteresis band: %v", c.Mode())
+	}
+	// Waits collapse to 10us and the attempt backlog drains: genuine calm.
+	calm := Counters{Acquisitions: 2, WaitCycles: sim.Micros(10 * 2)}
+	for i := 0; c.Mode() != ModeQueue; i++ {
+		c.Observe(Sample{HomeUtil: 0.02, Lock: calm})
+		if i > 50 {
+			t.Fatal("never retreated from cohort after contention drained")
+		}
 	}
 }
 

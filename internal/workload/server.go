@@ -56,6 +56,11 @@ type ServerConfig struct {
 	// (counted, not served) — the admission control that keeps an
 	// overloaded open-loop run's drain finite. Default 4x Workers.
 	QueueLimit int
+	// Deadline, when nonzero, is the latency SLO: a request still queued
+	// when a worker picks it up more than Deadline after its arrival is
+	// abandoned (counted per tenant, not served). Zero disables the policy
+	// entirely — the run is byte-identical to one without the field.
+	Deadline sim.Duration
 	// ChurnEvery makes every Nth admitted request fork/message/destroy a
 	// child process homed on the tenant's cluster (0 disables).
 	ChurnEvery int
@@ -77,6 +82,9 @@ type TenantStats struct {
 	Weight float64
 	// Admitted and Dropped count the tenant's measured-window arrivals.
 	Admitted, Dropped uint64
+	// Abandoned counts admitted measured-window requests whose queueing
+	// delay exceeded the Deadline SLO at dequeue (only with Deadline set).
+	Abandoned uint64
 	// Lat is the tenant's measured sojourn distribution (microseconds).
 	Lat *stats.Dist
 }
@@ -85,9 +93,13 @@ type TenantStats struct {
 // measured window (arrivals at or after Warmup) only.
 type ServerResult struct {
 	// Offered = Admitted + Dropped; Completed counts admitted requests
-	// that finished (every admitted request completes — the drain runs to
-	// empty — so Completed == Admitted, kept separate as a sanity check).
+	// that finished. Without a Deadline every admitted request completes
+	// (the drain runs to empty, so Completed == Admitted, kept separate as
+	// a sanity check); with one, Admitted == Completed + Abandoned.
 	Offered, Admitted, Dropped, Completed uint64
+	// Abandoned counts admitted measured-window requests dropped at
+	// dequeue for exceeding the Deadline SLO (zero when Deadline is 0).
+	Abandoned uint64
 	// Lat is the overall sojourn distribution in microseconds
 	// (arrival to completion, queueing included).
 	Lat *stats.Dist
@@ -107,13 +119,13 @@ type ServerResult struct {
 // Fingerprint renders everything the run publishes as one string, so two
 // runs can be compared byte for byte (the determinism property).
 func (r *ServerResult) Fingerprint() string {
-	s := fmt.Sprintf("offered=%d admitted=%d dropped=%d completed=%d elapsed=%d goodput=%.6f\n",
-		r.Offered, r.Admitted, r.Dropped, r.Completed, r.Elapsed, r.GoodputRPS)
+	s := fmt.Sprintf("offered=%d admitted=%d dropped=%d abandoned=%d completed=%d elapsed=%d goodput=%.6f\n",
+		r.Offered, r.Admitted, r.Dropped, r.Abandoned, r.Completed, r.Elapsed, r.GoodputRPS)
 	s += fmt.Sprintf("lat %s\n", r.Lat.Tail())
 	s += fmt.Sprintf("kstats %+v\n", r.KStats)
 	for _, t := range r.Tenants {
-		s += fmt.Sprintf("tenant %d w=%.4f adm=%d drop=%d %s\n",
-			t.Label, t.Weight, t.Admitted, t.Dropped, t.Lat.Tail())
+		s += fmt.Sprintf("tenant %d w=%.4f adm=%d drop=%d aband=%d %s\n",
+			t.Label, t.Weight, t.Admitted, t.Dropped, t.Abandoned, t.Lat.Tail())
 	}
 	return s
 }
@@ -253,6 +265,16 @@ func ServerRun(cfg ServerConfig) *ServerResult {
 
 	handle := func(p *sim.Proc, i int) {
 		req := reqs[i]
+		if cfg.Deadline > 0 && p.Now()-req.at > sim.Time(cfg.Deadline) {
+			// SLO abandonment: the request waited past its deadline in the
+			// queue; the client has given up, so serving it would spend
+			// kernel work on a dead response. Count it and move on.
+			if measured(i) {
+				res.Abandoned++
+				res.Tenants[req.rank].Abandoned++
+			}
+			return
+		}
 		k.BeginRequest(p)
 		pid := workerPID(p.ID())
 		region := tenantRegion(req.rank)

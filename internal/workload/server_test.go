@@ -67,6 +67,37 @@ func TestServerRunCompletes(t *testing.T) {
 	}
 }
 
+// TestServerDeadlineDrops pins the latency-deadline drop policy: with a
+// deadline tight enough to trip under the test load, some measured
+// requests are abandoned at dispatch and the accounting extends to
+// Admitted == Completed + Abandoned (per tenant too); with a zero
+// deadline the run is byte-identical to one that never heard of the
+// field.
+func TestServerDeadlineDrops(t *testing.T) {
+	cfg := serverTestConfig(1, locks.KindH2MCS)
+	cfg.Deadline = sim.Micros(200)
+	r := ServerRun(cfg)
+	if r.Abandoned == 0 {
+		t.Fatal("tight deadline abandoned nothing; the policy is inert")
+	}
+	if r.Admitted != r.Completed+r.Abandoned {
+		t.Fatalf("admitted %d != completed %d + abandoned %d", r.Admitted, r.Completed, r.Abandoned)
+	}
+	var perTenant uint64
+	for _, tn := range r.Tenants {
+		perTenant += tn.Abandoned
+	}
+	if perTenant != r.Abandoned {
+		t.Fatalf("per-tenant abandoned sum %d != total %d", perTenant, r.Abandoned)
+	}
+	base := ServerRun(serverTestConfig(1, locks.KindH2MCS))
+	zero := serverTestConfig(1, locks.KindH2MCS)
+	zero.Deadline = 0
+	if got := ServerRun(zero).Fingerprint(); got != base.Fingerprint() {
+		t.Fatal("zero deadline changed the run")
+	}
+}
+
 // TestServerControllerInteraction runs the tuner (KindTuned on every
 // kernel lock) and the placement daemon together under a flash-crowd
 // shift — load neither controller was tuned on — and checks that neither
