@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-wall results bench-diff bench-baseline jobs-equiv par-equiv trace-smoke server-smoke profile
+.PHONY: ci vet build test race bench bench-wall results bench-diff bench-baseline jobs-equiv par-equiv trace-smoke server-smoke autonomic-smoke profile
 
-ci: vet build test race bench-diff jobs-equiv par-equiv trace-smoke server-smoke
+ci: vet build test race bench-diff jobs-equiv par-equiv trace-smoke server-smoke autonomic-smoke
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +28,7 @@ race:
 	$(GO) test -race ./internal/native/... ./internal/exp/... ./internal/workload/...
 	$(GO) test -race -count=2 -run 'Cohort|CNA|CrossValidation' ./internal/native/
 	$(GO) test -race -count=2 -run 'Parallel|TimedStress' ./internal/sim/ ./internal/workload/
+	$(GO) test -race -count=2 ./internal/autonomic/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -97,6 +98,20 @@ server-smoke:
 	grep -q '"numachine64.Tuned.p999"' /tmp/hurricane_server.json
 	grep -q '"hector16.rank_divergence"' /tmp/hurricane_server.json
 	@echo "server-smoke: open-loop server harness reports tail latency on both machines"
+
+# End-to-end check of the kernel autonomics plane: the combined
+# tune+migrate+replicate run must beat every single policy on the mixed
+# tenant workload (the tentpole acceptance metric), and both interactive
+# harnesses must run the full plane under one cadence.
+autonomic-smoke:
+	$(GO) run ./cmd/hurricane-bench -quick -run '^autonomic$$' -json /tmp/hurricane_autonomic.json > /dev/null
+	grep -A 1 '"hector16.combined_wins"' /tmp/hurricane_autonomic.json | grep -q '"value": 3'
+	$(GO) run ./cmd/clustersim -size 16 -procs 4 -rounds 8 -autonomic > /tmp/hurricane_autosim.txt
+	grep -q "autonomics plane" /tmp/hurricane_autosim.txt
+	grep -Eq "replication policy: [0-9]+ windows, [1-9]" /tmp/hurricane_autosim.txt
+	$(GO) run ./cmd/lockstat -run server -autonomic -ms 6 > /tmp/hurricane_autolock.txt
+	grep -q "autonomics plane" /tmp/hurricane_autolock.txt
+	@echo "autonomic-smoke: combined plane beats every single policy; both CLIs run it"
 
 # Refresh the checked-in baseline after an intentional performance change
 # (commit the result and explain the shift in the PR).

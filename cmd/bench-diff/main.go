@@ -14,7 +14,13 @@
 // forever after. Pass -allow-new to downgrade that to informational (for
 // ad-hoc comparisons against an intentionally older baseline).
 // The simulation is deterministic for a fixed seed, so an unchanged tree
-// diffs exactly; any delta at all is a real behavior change.
+// diffs exactly; any delta at all is a real behavior change. Metrics that
+// are NOT deterministic — derived from wall clock or host scheduling rather
+// than simulated time — can be granted a per-metric relative tolerance with
+// -reltol 'pattern=frac[,pattern=frac...]': a metric whose full
+// "experiment.metric" name matches a pattern (Go regexp) compares equal
+// whenever |current-baseline| <= frac*|baseline|. Everything unmatched
+// keeps the exact-match default.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"regexp"
 	"sort"
 	"strings"
 
@@ -39,6 +46,49 @@ func load(path string) (*exp.Report, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return &r, nil
+}
+
+// relTol is one -reltol entry: metrics whose flattened name matches re are
+// equal within frac of the baseline value.
+type relTol struct {
+	re   *regexp.Regexp
+	frac float64
+}
+
+// parseRelTol parses "pattern=frac[,pattern=frac...]". Patterns are Go
+// regexps matched (unanchored) against the "experiment.metric" name; the
+// first matching entry wins.
+func parseRelTol(spec string) ([]relTol, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var tols []relTol
+	for _, part := range strings.Split(spec, ",") {
+		eq := strings.LastIndex(part, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("-reltol entry %q: want pattern=frac", part)
+		}
+		re, err := regexp.Compile(part[:eq])
+		if err != nil {
+			return nil, fmt.Errorf("-reltol pattern %q: %v", part[:eq], err)
+		}
+		var frac float64
+		if _, err := fmt.Sscanf(part[eq+1:], "%g", &frac); err != nil || frac < 0 {
+			return nil, fmt.Errorf("-reltol entry %q: bad fraction %q", part, part[eq+1:])
+		}
+		tols = append(tols, relTol{re, frac})
+	}
+	return tols, nil
+}
+
+// within reports whether name has a -reltol entry and cur is inside it.
+func within(tols []relTol, name string, base, cur float64) bool {
+	for _, t := range tols {
+		if t.re.MatchString(name) {
+			return math.Abs(cur-base) <= t.frac*math.Abs(base)
+		}
+	}
+	return false
 }
 
 // flatten maps "experiment.metric" to the metric, so renamed experiments
@@ -58,7 +108,14 @@ func main() {
 	curPath := flag.String("current", "BENCH_sim.json", "freshly generated summary")
 	tol := flag.Float64("tolerance", 0.05, "fractional regression allowed on us-unit metrics")
 	allowNew := flag.Bool("allow-new", false, "tolerate current-run metrics absent from the baseline")
+	relSpec := flag.String("reltol", "", "per-metric relative tolerance for nondeterministic metrics: pattern=frac[,pattern=frac...]")
 	flag.Parse()
+
+	tols, err := parseRelTol(*relSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-diff: %v\n", err)
+		os.Exit(2)
+	}
 
 	base, err := load(*basePath)
 	if err != nil {
@@ -86,6 +143,9 @@ func main() {
 			continue
 		}
 		if b.Value == c.Value {
+			continue
+		}
+		if within(tols, name, b.Value, c.Value) {
 			continue
 		}
 		switch {

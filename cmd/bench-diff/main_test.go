@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestParseRelTol(t *testing.T) {
+	tols, err := parseRelTol(`\.p999$=0.05,wall=0.2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tols) != 2 || tols[0].frac != 0.05 || tols[1].frac != 0.2 {
+		t.Fatalf("parsed %+v", tols)
+	}
+	for _, bad := range []string{"nofrac", "pat=notanumber", "pat=-0.1", "bad[=0.1"} {
+		if _, err := parseRelTol(bad); err == nil {
+			t.Errorf("parseRelTol(%q) accepted garbage", bad)
+		}
+	}
+	if tols, err := parseRelTol(""); err != nil || tols != nil {
+		t.Fatalf("empty spec: %v, %v", tols, err)
+	}
+}
+
+func TestWithinFirstMatchWins(t *testing.T) {
+	tols, _ := parseRelTol(`p999=0.10,.*=0`)
+	if !within(tols, "server.a.p999", 100, 109) {
+		t.Fatal("9% delta rejected under a 10% tolerance")
+	}
+	if within(tols, "server.a.p999", 100, 111) {
+		t.Fatal("11% delta accepted under a 10% tolerance")
+	}
+	// The catch-all zero entry matches everything else: only exact is equal.
+	if within(tols, "server.a.mean", 100, 100.0001) {
+		t.Fatal("non-matching metric granted slack")
+	}
+	// No entry at all: exact-match default, within must decline.
+	if within(nil, "anything", 1, 1.0001) {
+		t.Fatal("nil tolerance list granted slack")
+	}
+}

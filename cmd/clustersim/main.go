@@ -5,11 +5,17 @@
 //	clustersim -size 4 -procs 16 -workload shared
 //	clustersim -size 1 -workload independent -lock spin
 //	clustersim -size 16 -procs 4 -migrate     # online placement daemon
+//	clustersim -size 16 -procs 4 -autonomic   # full autonomics plane
 //
 // With -migrate, kernel-data slots are allocated in migratable regions and
 // an online placement daemon samples the live access trace, re-homing hot
 // slots toward their accessors mid-run; the daemon's move log and the
 // charged migration cost are printed after the run.
+//
+// With -autonomic, the whole kernel autonomics plane runs: feedback-tuned
+// kernel locks, the placement daemon, and the replication policy for
+// read-mostly kernel data, all sampled by one shared daemon cadence
+// (internal/autonomic.Plane). -migrate remains the single-policy alias.
 package main
 
 import (
@@ -17,11 +23,13 @@ import (
 	"fmt"
 	"os"
 
+	"hurricane/internal/autonomic"
 	"hurricane/internal/core"
 	"hurricane/internal/locks"
 	"hurricane/internal/sim"
 	"hurricane/internal/trace"
 	"hurricane/internal/trace/placement"
+	"hurricane/internal/tune"
 	"hurricane/internal/workload"
 )
 
@@ -35,11 +43,17 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the run")
 	migrate := flag.Bool("migrate", false, "run the online placement daemon (migratable kernel-data slots)")
+	auto := flag.Bool("autonomic", false, "run the full kernel autonomics plane: tuned locks + migration + replication under one cadence")
 	flag.Parse()
 
 	kinds := map[string]locks.Kind{
 		"mcs": locks.KindMCS, "h2mcs": locks.KindH2MCS,
 		"spin": locks.KindSpin, "spin2ms": locks.KindSpin2ms,
+		"tuned": locks.KindTuned,
+	}
+	if *auto {
+		*migrate = true
+		*kind = "tuned"
 	}
 	lk, ok := kinds[*kind]
 	if !ok {
@@ -63,13 +77,21 @@ func main() {
 			t = agg
 		}
 	}
-	sys := core.NewSystem(core.Config{
+	cc := core.Config{
 		Machine:     sim.Config{Seed: *seed},
 		ClusterSize: *size,
 		LockKind:    lk,
 		Tracer:      t,
 		Migratable:  *migrate,
-	})
+	}
+	var plane *autonomic.Plane
+	if *auto {
+		// One cadence for every policy; the tune samplers register on the
+		// plane during kernel construction, the data policies after.
+		plane = autonomic.NewPlane(sim.Micros(25))
+		cc.TuneParams = &tune.Params{Plane: plane}
+	}
+	sys := core.NewSystem(cc)
 	if tracer != nil {
 		tracer.SetMachine(sys.M)
 		// Wrap each cluster's memory-manager lock with telemetry so the
@@ -79,12 +101,25 @@ func main() {
 		}
 	}
 	var daemon *placement.Daemon
+	var rep *autonomic.Replicator
 	if *migrate {
-		daemon = placement.NewDaemon(sys.M, agg,
-			placement.Topo{Stations: 4, ProcsPerStation: 4}, placement.DefaultCosts(),
-			placement.DaemonParams{Period: sim.Micros(25), Decay: 0.9, MinWeight: 0.25, Confirm: 3},
-			placement.ManageKernel(sys.K))
-		daemon.Start()
+		topo := autonomic.Topo{Stations: 4, ProcsPerStation: 4}
+		dp := placement.DaemonParams{Period: sim.Micros(25), Decay: 0.9, MinWeight: 0.25, Confirm: 3}
+		if plane != nil {
+			rep = autonomic.NewReplicator(sys.M, topo, autonomic.DefaultCosts(),
+				autonomic.ReplicatorParams{Decay: 0.9, MinWeight: 0.25, Confirm: 3},
+				placement.ReplicateKernel(sys.K, agg))
+			plane.Add(rep)
+			dp.Yield = rep.Claimed
+		}
+		daemon = placement.NewDaemon(sys.M, agg, placement.Topo(topo),
+			placement.DefaultCosts(), dp, placement.ManageKernel(sys.K))
+		if plane != nil {
+			plane.Add(daemon)
+			plane.Start(sys.M.Eng)
+		} else {
+			daemon.Start()
+		}
 	}
 
 	var res workload.FaultResult
@@ -114,6 +149,16 @@ func main() {
 			res.Stats.Migrations, res.Stats.MigratedWords,
 			float64(res.Stats.MigrationCycles)/sim.CyclesPerMicrosecond)
 		fmt.Print("  " + daemon.Report())
+	}
+	if plane != nil {
+		fmt.Print("  " + plane.Report())
+		fmt.Print("  " + rep.Report())
+		var switches uint64
+		for _, ctl := range sys.K.Controllers() {
+			switches += ctl.Switches()
+		}
+		fmt.Printf("  kernel lock controllers: %d mode switches across %d clusters\n",
+			switches, len(sys.K.Controllers()))
 	}
 
 	// Memory-system hot spots (windowed: the window opened at machine

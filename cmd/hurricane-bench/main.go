@@ -114,6 +114,7 @@ func main() {
 		{"tuned", func() *exp.Table { return exp.TunedCrossover(*seed, rounds(40, 10)) }},
 		{"cohort", func() *exp.Table { return exp.CohortSweep(*seed, rounds(40, 10)) }},
 		{"server", func() *exp.Table { return exp.ServerSweep(*seed, rounds(60, 20)) }},
+		{"autonomic", func() *exp.Table { return exp.AutonomicSweep(*seed, rounds(40, 15)) }},
 		{"parstress", func() *exp.Table { return exp.ParStress(*seed, rounds(4000, 2500), !*quick) }},
 	}
 	if !*quick {

@@ -25,6 +25,15 @@
 // trace; its move log is printed after the run.
 //
 //	lockstat -lock h2mcs -procs 4 -home 12 -migrate  # daemon pulls the data to station 0
+//
+// With -autonomic, the full kernel autonomics plane runs under one shared
+// cadence: the tuned lock's controller, the placement daemon, and the
+// replication policy for read-mostly data (-tune and -migrate remain the
+// single-policy aliases). In server mode the tenants get migratable data
+// regions with a mixed read-mostly/write-hot profile — the workload the
+// combined plane exists for.
+//
+//	lockstat -run server -autonomic -ms 20
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 	"fmt"
 	"os"
 
+	"hurricane/internal/autonomic"
 	"hurricane/internal/core"
 	"hurricane/internal/locks"
 	"hurricane/internal/machine"
@@ -81,10 +91,15 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the run")
 	home := flag.Int("home", 0, "home module of the lock and its protected data")
 	migrate := flag.Bool("migrate", false, "protected data in a migratable region managed by the online placement daemon")
+	auto := flag.Bool("autonomic", false, "full autonomics plane: tuned lock + migration + replication under one cadence")
 	run := flag.String("run", "stress", "stress | server (open-loop multi-tenant server, tail-latency summary)")
 	horizonMS := flag.Int("ms", 20, "server mode: arrival horizon in simulated milliseconds")
 	flag.Parse()
 
+	if *auto {
+		*tuned = true
+		*migrate = true
+	}
 	if *tuned {
 		*lock = "tuned"
 	}
@@ -108,7 +123,7 @@ func main() {
 
 	switch *run {
 	case "server":
-		runServer(*machineName, mc, kind, *seed, *horizonMS, *migrate)
+		runServer(*machineName, mc, kind, *seed, *horizonMS, *migrate, *auto)
 		return
 	case "stress":
 	default:
@@ -153,9 +168,14 @@ func main() {
 		Tracer:  t,
 		Region:  *migrate,
 	}
+	var plane *autonomic.Plane
+	var rep *autonomic.Replicator
+	if *auto {
+		plane = autonomic.NewPlane(placement.DefaultDaemonParams().Period)
+	}
 	if kind == locks.KindTuned {
 		cfg.MakeLock = func(m *sim.Machine, home int) locks.Lock {
-			tl = locks.NewTuned(m, home, tune.Params{})
+			tl = locks.NewTuned(m, home, tune.Params{Plane: plane})
 			return tl
 		}
 	}
@@ -169,16 +189,42 @@ func main() {
 			// in-flight accesses by the module/ring resource queues.
 			params := placement.DefaultDaemonParams()
 			params.Exec = func(int) int { return 0 }
+			region := r.DataRegion
+			if plane != nil {
+				rep = autonomic.NewReplicator(r.M, autonomic.Topo(mc.topo),
+					autonomic.CostsFromLatency(r.M.Lat()),
+					autonomic.ReplicatorParams{Exec: func(int) int { return 0 }},
+					[]autonomic.ReplicaSlot{{
+						Name:   "lock data",
+						Region: region,
+						Reads:  func() []uint64 { return agg.RegionReads[region] },
+						Writes: func() []uint64 { return agg.RegionWrites[region] },
+						Replicate: func(p *sim.Proc, to int) {
+							r.M.Mem.ReplicateRegion(p, region, to)
+						},
+						Collapse: func(p *sim.Proc) { r.M.Mem.CollapseRegion(region) },
+					}})
+				plane.Add(rep)
+				params.Yield = rep.Claimed
+			}
 			daemon = placement.NewDaemon(r.M, agg, mc.topo,
 				placement.CostsFromLatency(r.M.Lat()), params,
 				[]placement.DaemonSlot{{
 					Name:   "lock data",
-					Region: r.DataRegion,
+					Region: region,
 					Migrate: func(p *sim.Proc, to int) {
-						r.M.Mem.MigrateRegion(p, r.DataRegion, to)
+						if r.M.Mem.Replicated(region) {
+							r.M.Mem.CollapseRegion(region)
+						}
+						r.M.Mem.MigrateRegion(p, region, to)
 					},
 				}})
-			daemon.Start()
+			if plane != nil {
+				plane.Add(daemon)
+				plane.Start(r.M.Eng)
+			} else {
+				daemon.Start()
+			}
 		}
 	}
 	r := workload.LockStressRun(cfg)
@@ -199,8 +245,16 @@ func main() {
 
 	if daemon != nil {
 		fmt.Println()
+		if plane != nil {
+			fmt.Print(plane.Report())
+			fmt.Print(rep.Report())
+		}
 		fmt.Print(daemon.Report())
-		fmt.Printf("data region home: module %d\n", r.M.Mem.Home(r.DataRegion))
+		fmt.Printf("data region home: module %d", r.M.Mem.Home(r.DataRegion))
+		if reps := r.M.Mem.Replicas(r.DataRegion); len(reps) > 0 {
+			fmt.Printf(", replicas on %v", reps)
+		}
+		fmt.Println()
 	}
 
 	if *showStats {
@@ -243,8 +297,11 @@ func main() {
 // runServer executes the open-loop multi-tenant server scenario (the
 // exp.ServerSweep workload at one point) and prints the sojourn-time tail,
 // the per-tenant breakdown, and — for the tuned lock or with -migrate —
-// the controller decision logs and the daemon's move log.
-func runServer(name string, mc machineSpec, kind locks.Kind, seed uint64, horizonMS int, migrate bool) {
+// the controller decision logs and the daemon's move log. With -autonomic
+// the tenants get migratable data regions (three of four read-mostly, one
+// of four write-hot and sharded off its data's home cluster) and the full
+// plane — tuned locks, migration, replication — manages the run.
+func runServer(name string, mc machineSpec, kind locks.Kind, seed uint64, horizonMS int, migrate, auto bool) {
 	cfg := workload.ServerConfig{
 		Machine:     mc.cfg(seed),
 		ClusterSize: mc.clusterSize,
@@ -264,15 +321,54 @@ func runServer(name string, mc machineSpec, kind locks.Kind, seed uint64, horizo
 		ChurnEvery: 8,
 	}
 	var daemon *placement.Daemon
+	var rep *autonomic.Replicator
+	var plane *autonomic.Plane
+	if auto {
+		// The AutonomicSweep workload shape: per-tenant migratable data,
+		// three of four tenants read-mostly (replication's case), every
+		// fourth write-hot and sharded onto the wrong cluster (migration's).
+		cfg.TenantDataWords = 128
+		cfg.TenantTouch = 128
+		cfg.TenantWriteFrac = func(rank int) float64 {
+			if rank%4 == 0 {
+				return 0.75
+			}
+			return 0.02
+		}
+		cfg.TenantAffinity = func(rank int) int {
+			if rank%4 == 0 {
+				return (rank/4 + 1) % mc.topo.Stations
+			}
+			return -1
+		}
+		plane = autonomic.NewPlane(sim.Micros(100))
+		cfg.TuneParams = &tune.Params{Plane: plane}
+	}
 	if migrate {
 		cfg.Migratable = true
 		agg := trace.NewAggregate(mc.topo.Stations * mc.topo.ProcsPerStation)
 		cfg.Tracer = agg
 		cfg.Attach = func(sys *core.System) {
+			dp := placement.DefaultDaemonParams()
+			if plane != nil {
+				rep = autonomic.NewReplicator(sys.M, autonomic.Topo(mc.topo),
+					autonomic.CostsFromLatency(sys.M.Lat()),
+					autonomic.ReplicatorParams{Decay: 0.95, MinWeight: 4, Confirm: 3, Payback: 48},
+					placement.ReplicateKernel(sys.K, agg))
+				plane.Add(rep)
+				dp.Yield = rep.Claimed
+				dp.Decay, dp.MinWeight, dp.Confirm = 0.9, 2, 6
+				dp.Improve, dp.Budget = 0.25, 2
+			}
 			daemon = placement.NewDaemon(sys.M, agg, mc.topo,
-				placement.CostsFromLatency(sys.M.Lat()),
-				placement.DefaultDaemonParams(), placement.ManageKernel(sys.K))
-			daemon.Start()
+				placement.CostsFromLatency(sys.M.Lat()), dp,
+				placement.ManageKernel(sys.K))
+			if plane != nil {
+				plane.Add(daemon)
+				plane.Start(sys.M.Eng)
+			} else {
+				daemon.Start()
+			}
 		}
 	}
 	r := workload.ServerRun(cfg)
@@ -294,6 +390,11 @@ func runServer(name string, mc machineSpec, kind locks.Kind, seed uint64, horizo
 		for i, ctl := range r.Sys.K.Controllers() {
 			fmt.Printf("\nkernel lock controller %d:\n%s", i, ctl.Report())
 		}
+	}
+	if plane != nil {
+		fmt.Println()
+		fmt.Print(plane.Report())
+		fmt.Print(rep.Report())
 	}
 	if daemon != nil {
 		fmt.Println()

@@ -1,0 +1,257 @@
+// Package autonomic is the shared controller core of the kernel's
+// self-tuning plane. The paper's NUMA kernel runs several feedback
+// policies at once — lock tuning (§4.2), data migration and replication
+// of read-mostly kernel data (§2.2) — and they are all the same controller
+// shape: sample a windowed signal at a fixed daemon cadence, smooth it
+// (one-window bursts must not trigger action), act only past a threshold
+// with hysteresis, confirm the decision across consecutive windows, and
+// bound the blast radius with per-target budgets and cooldowns. When the
+// actuation charges real traffic (a copy burst), price it: the projected
+// per-window saving must repay the estimated cost within a payback
+// horizon.
+//
+// internal/tune's lock controller and trace/placement's migration daemon
+// are both built from these primitives, and the Replicator policy here is
+// the third instance. The primitives are deliberately thin — each method
+// performs exactly the float operations its users historically inlined,
+// in the same order, so refactoring a controller onto them is
+// byte-identical on existing sweeps (the property the determinism tests
+// pin down).
+//
+// Signal primitives:
+//
+//	DecayedSum    s = decay*s + x            (windowed mass with a ~1/(1-decay) horizon)
+//	DecayedRatio  two DecayedSums whose ratio freezes below a mass floor
+//	EWMA          v = decay*v + (1-decay)*x  (smoothed level signal)
+//
+// Decision primitives:
+//
+//	Band    a [Low, High] hysteresis band with a neutral midpoint
+//	Dwell   minimum windows between state switches
+//	Streak  consecutive-window confirmation of a candidate action
+//	Gate    per-target action budget + cooldown
+//	Worthwhile  the rent-vs-buy payback test for priced actuators
+package autonomic
+
+import "hurricane/internal/sim"
+
+// DecayedSum is an exponentially decayed sum: each Add retains Decay of
+// the accumulated mass and adds the new window's contribution whole. With
+// Decay d the horizon is ~1/(1-d) windows, and — unlike a normalized EWMA
+// — a window's contribution is weighted by its own magnitude, which is
+// what makes a ratio of two DecayedSums an unbiased per-event mean.
+type DecayedSum struct {
+	Decay float64
+	S     float64
+}
+
+// Add folds one window's mass into the sum.
+func (d *DecayedSum) Add(x float64) { d.S = d.Decay*d.S + x }
+
+// Reset clears the accumulated mass.
+func (d *DecayedSum) Reset() { d.S = 0 }
+
+// DecayedRatio tracks the ratio of two decayed sums — per-event wait, the
+// remote-acquisition fraction — with a mass floor: when the denominator's
+// decayed mass falls below Floor the ratio freezes at its last computed
+// value rather than being recomputed from noise (a window in which nothing
+// completes says nothing about the per-completion mean).
+type DecayedRatio struct {
+	Decay float64
+	Floor float64
+	num   DecayedSum
+	den   DecayedSum
+	ratio float64
+}
+
+// Observe folds one window (numerator mass, denominator mass) and returns
+// the current — possibly frozen — ratio.
+func (r *DecayedRatio) Observe(num, den float64) float64 {
+	if r.num.Decay == 0 {
+		r.num.Decay, r.den.Decay = r.Decay, r.Decay
+	}
+	r.num.Add(num)
+	r.den.Add(den)
+	if r.den.S >= r.Floor {
+		r.ratio = r.num.S / r.den.S
+	}
+	return r.ratio
+}
+
+// Value returns the current (possibly frozen) ratio.
+func (r *DecayedRatio) Value() float64 { return r.ratio }
+
+// Mass returns the decayed denominator mass (the evidence behind Value).
+func (r *DecayedRatio) Mass() float64 { return r.den.S }
+
+// Reset drops the accumulated sums. The frozen ratio is kept: the caller's
+// estimate stays at its last defensible value until fresh mass arrives
+// (the tune controller's mode-switch semantics).
+func (r *DecayedRatio) Reset() { r.num.Reset(); r.den.Reset() }
+
+// Clear drops the sums AND the ratio (the ring-fraction semantics: after a
+// mode switch the old mode's traffic mix is meaningless).
+func (r *DecayedRatio) Clear() { r.Reset(); r.ratio = 0 }
+
+// EWMA is the normalized smoother: v = Decay*v + (1-Decay)*x. Use it for
+// level signals (utilization, per-window access counts) where each window
+// should carry equal weight regardless of magnitude.
+type EWMA struct {
+	Decay float64
+	V     float64
+}
+
+// Observe folds one window's level and returns the smoothed value.
+func (e *EWMA) Observe(x float64) float64 {
+	e.V = e.Decay*e.V + (1-e.Decay)*x
+	return e.V
+}
+
+// Set restarts the smoother from v (e.g. a band midpoint after a switch).
+func (e *EWMA) Set(v float64) { e.V = v }
+
+// Band is a [Low, High] hysteresis band: escalate at or above High,
+// retreat at or below Low, and do nothing in between.
+type Band struct {
+	Low, High float64
+}
+
+// Above reports v at or past the escalation threshold.
+func (b Band) Above(v float64) bool { return v >= b.High }
+
+// Below reports v at or past the retreat threshold.
+func (b Band) Below(v float64) bool { return v <= b.Low }
+
+// Mid is the band's neutral midpoint — the restart value that forces no
+// decision either way.
+func (b Band) Mid() float64 { return (b.Low + b.High) / 2 }
+
+// Dwell enforces a minimum number of observation windows between state
+// switches: after Arm, Ready returns false (consuming one window per call)
+// until Windows windows have passed.
+type Dwell struct {
+	Windows int
+	left    int
+}
+
+// Ready consumes one window and reports whether switching is permitted.
+func (d *Dwell) Ready() bool {
+	if d.left > 0 {
+		d.left--
+		return false
+	}
+	return true
+}
+
+// Arm starts a fresh dwell period.
+func (d *Dwell) Arm() { d.left = d.Windows }
+
+// Streak confirms a candidate action across consecutive windows: Observe
+// returns true only once the same candidate has won Confirm windows in a
+// row. A burst shorter than the streak can nominate a candidate but never
+// confirm it.
+type Streak struct {
+	Confirm int
+	cand    int
+	n       int
+}
+
+// NewStreak returns a streak requiring confirm consecutive wins.
+func NewStreak(confirm int) Streak { return Streak{Confirm: confirm, cand: -1} }
+
+// Observe records that cand won this window and reports confirmation.
+func (s *Streak) Observe(cand int) bool {
+	if cand != s.cand {
+		s.cand, s.n = cand, 1
+	} else {
+		s.n++
+	}
+	return s.n >= s.Confirm
+}
+
+// Clear drops the candidate (no proposal this window, or action taken).
+func (s *Streak) Clear() { s.cand, s.n = -1, 0 }
+
+// Candidate returns the current candidate (-1 when none).
+func (s *Streak) Candidate() int { return s.cand }
+
+// Gate is the per-target action limiter: a hard budget over the whole run
+// plus a cooldown between consecutive actions on the same target.
+type Gate struct {
+	Budget   int
+	Cooldown sim.Duration
+	used     int
+	last     sim.Time
+}
+
+// Ready reports whether an action is permitted at time now.
+func (g *Gate) Ready(now sim.Time) bool {
+	if g.used >= g.Budget {
+		return false
+	}
+	if g.last != 0 && now-g.last < sim.Time(g.Cooldown) {
+		return false
+	}
+	return true
+}
+
+// Spend records an action at time now.
+func (g *Gate) Spend(now sim.Time) { g.used++; g.last = now }
+
+// Used reports how many actions have been spent.
+func (g *Gate) Used() int { return g.used }
+
+// Worthwhile is the priced-actuator contract: an action whose estimated
+// cost is cost and whose projected per-window benefit is benefit executes
+// only if the benefit repays the cost within horizon windows. The caller
+// supplies both sides in the same currency (weighted access cycles).
+func Worthwhile(benefit float64, horizon int, cost float64) bool {
+	return benefit*float64(horizon) >= cost
+}
+
+// Topo is the machine topology the placement policies reason over (it must
+// match the running or traced machine; cmd/traceanal reads it from trace
+// metadata).
+type Topo struct {
+	Stations, ProcsPerStation int
+}
+
+// Modules reports the module count.
+func (t Topo) Modules() int { return t.Stations * t.ProcsPerStation }
+
+// Dist classifies the distance from module src to module dst.
+func (t Topo) Dist(src, dst int) sim.DistClass {
+	switch {
+	case src == dst:
+		return sim.DistLocal
+	case src/t.ProcsPerStation == dst/t.ProcsPerStation:
+		return sim.DistStation
+	default:
+		return sim.DistRing
+	}
+}
+
+// Costs weighs one access at each distance class, in cycles. Use the
+// running machine's uncontended latencies (CostsFromLatency).
+type Costs struct {
+	Local, Station, Ring float64
+}
+
+// CostsFromLatency derives weights from a machine's latency parameters.
+func CostsFromLatency(lat sim.Latency) Costs {
+	return Costs{Local: float64(lat.Local), Station: float64(lat.Station), Ring: float64(lat.Ring)}
+}
+
+// DefaultCosts are the HECTOR weights (10/19/23 cycles).
+func DefaultCosts() Costs { return CostsFromLatency(sim.DefaultLatency()) }
+
+// Of weighs one access at the given distance class.
+func (c Costs) Of(d sim.DistClass) float64 {
+	switch d {
+	case sim.DistLocal:
+		return c.Local
+	case sim.DistStation:
+		return c.Station
+	}
+	return c.Ring
+}

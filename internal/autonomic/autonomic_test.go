@@ -1,0 +1,241 @@
+package autonomic
+
+import (
+	"math"
+	"testing"
+
+	"hurricane/internal/sim"
+)
+
+func TestDecayedSumRetainsDecayOfMass(t *testing.T) {
+	d := DecayedSum{Decay: 0.5}
+	d.Add(8)
+	d.Add(8)
+	d.Add(8)
+	// 8*(1 + 0.5 + 0.25) = 14
+	if d.S != 14 {
+		t.Fatalf("decayed sum = %v, want 14", d.S)
+	}
+	d.Reset()
+	if d.S != 0 {
+		t.Fatalf("sum after Reset = %v, want 0", d.S)
+	}
+}
+
+// The ratio of two decayed sums is the per-event mean of recent windows,
+// and it must freeze — not decay toward garbage — when the denominator's
+// evidence dries up.
+func TestDecayedRatioFreezesBelowFloor(t *testing.T) {
+	r := DecayedRatio{Decay: 0.5, Floor: 1}
+	if got := r.Observe(30, 10); got != 3 {
+		t.Fatalf("ratio after first window = %v, want 3", got)
+	}
+	// Empty windows: denominator mass decays to 5, 2.5, 1.25, 0.625... once
+	// it drops through the floor the ratio must stop being recomputed.
+	for i := 0; i < 10; i++ {
+		if got := r.Observe(0, 0); got != 3 {
+			t.Fatalf("ratio froze at %v on empty window %d, want 3", got, i)
+		}
+	}
+	if r.Mass() >= 1 {
+		t.Fatalf("denominator mass %v never fell below the floor — frozen path untested", r.Mass())
+	}
+	// Fresh mass thaws it.
+	if got := r.Observe(0, 100); got >= 3 {
+		t.Fatalf("ratio = %v after heavy zero-numerator window, want < 3", got)
+	}
+	r.Clear()
+	if r.Value() != 0 || r.Mass() != 0 {
+		t.Fatalf("Clear left ratio=%v mass=%v", r.Value(), r.Mass())
+	}
+}
+
+func TestDecayedRatioResetKeepsFrozenRatio(t *testing.T) {
+	r := DecayedRatio{Decay: 0.5, Floor: 1}
+	r.Observe(30, 10)
+	r.Reset()
+	if r.Value() != 3 {
+		t.Fatalf("Reset dropped the frozen ratio: %v, want 3", r.Value())
+	}
+	if r.Mass() != 0 {
+		t.Fatalf("Reset kept mass %v, want 0", r.Mass())
+	}
+}
+
+func TestEWMAConvergesToLevel(t *testing.T) {
+	e := EWMA{Decay: 0.75}
+	for i := 0; i < 64; i++ {
+		e.Observe(10)
+	}
+	if math.Abs(e.V-10) > 1e-6 {
+		t.Fatalf("EWMA = %v after 64 windows of 10, want ~10", e.V)
+	}
+	e.Set(3)
+	if e.V != 3 {
+		t.Fatalf("Set: EWMA = %v, want 3", e.V)
+	}
+}
+
+func TestBandThresholdsInclusive(t *testing.T) {
+	b := Band{Low: 0.2, High: 0.8}
+	if !b.Above(0.8) || b.Above(0.79) {
+		t.Fatal("Above must trigger at High, not below it")
+	}
+	if !b.Below(0.2) || b.Below(0.21) {
+		t.Fatal("Below must trigger at Low, not above it")
+	}
+	if b.Mid() != 0.5 {
+		t.Fatalf("Mid = %v, want 0.5", b.Mid())
+	}
+}
+
+func TestDwellConsumesWindows(t *testing.T) {
+	d := Dwell{Windows: 3}
+	if !d.Ready() {
+		t.Fatal("fresh dwell must be ready")
+	}
+	d.Arm()
+	for i := 0; i < 3; i++ {
+		if d.Ready() {
+			t.Fatalf("ready on window %d of a 3-window dwell", i)
+		}
+	}
+	if !d.Ready() {
+		t.Fatal("not ready after the dwell elapsed")
+	}
+}
+
+func TestStreakRequiresConsecutiveWins(t *testing.T) {
+	s := NewStreak(3)
+	if s.Observe(5) || s.Observe(5) {
+		t.Fatal("streak confirmed before 3 consecutive wins")
+	}
+	// A different candidate restarts the count.
+	if s.Observe(7) {
+		t.Fatal("candidate change must not confirm")
+	}
+	if s.Candidate() != 7 {
+		t.Fatalf("candidate = %d, want 7", s.Candidate())
+	}
+	s.Observe(7)
+	if !s.Observe(7) {
+		t.Fatal("3 consecutive wins did not confirm")
+	}
+	s.Clear()
+	if s.Candidate() != -1 {
+		t.Fatalf("candidate after Clear = %d, want -1", s.Candidate())
+	}
+	if s.Observe(7) || s.Observe(7) || !s.Observe(7) {
+		t.Fatal("streak did not restart cleanly after Clear")
+	}
+}
+
+func TestGateBudgetAndCooldown(t *testing.T) {
+	g := Gate{Budget: 2, Cooldown: 100}
+	if !g.Ready(50) {
+		t.Fatal("fresh gate not ready")
+	}
+	g.Spend(50)
+	if g.Ready(149) {
+		t.Fatal("ready inside the cooldown")
+	}
+	if !g.Ready(150) {
+		t.Fatal("not ready after the cooldown elapsed")
+	}
+	g.Spend(150)
+	if g.Ready(10000) {
+		t.Fatal("ready past the budget")
+	}
+	if g.Used() != 2 {
+		t.Fatalf("Used = %d, want 2", g.Used())
+	}
+}
+
+func TestWorthwhilePaybackHorizon(t *testing.T) {
+	// 10 cycles/window for 64 windows repays a 640-cycle copy, not 641.
+	if !Worthwhile(10, 64, 640) {
+		t.Fatal("benefit exactly repaying the cost must be worthwhile")
+	}
+	if Worthwhile(10, 64, 641) {
+		t.Fatal("benefit short of the cost must not be worthwhile")
+	}
+}
+
+func TestTopoDistAndCosts(t *testing.T) {
+	topo := Topo{Stations: 4, ProcsPerStation: 4}
+	if topo.Modules() != 16 {
+		t.Fatalf("Modules = %d, want 16", topo.Modules())
+	}
+	costs := DefaultCosts()
+	cases := []struct {
+		src, dst int
+		want     sim.DistClass
+	}{
+		{5, 5, sim.DistLocal},
+		{4, 7, sim.DistStation},
+		{0, 12, sim.DistRing},
+	}
+	for _, c := range cases {
+		if got := topo.Dist(c.src, c.dst); got != c.want {
+			t.Fatalf("Dist(%d,%d) = %v, want %v", c.src, c.dst, got, c.want)
+		}
+	}
+	if !(costs.Of(sim.DistLocal) < costs.Of(sim.DistStation) &&
+		costs.Of(sim.DistStation) < costs.Of(sim.DistRing)) {
+		t.Fatalf("costs not ordered local < station < ring: %+v", costs)
+	}
+}
+
+// countingPolicy records each Tick into a shared log, so a test can assert
+// both the tick count and the cross-policy phase order.
+type countingPolicy struct {
+	name string
+	log  *[]string
+}
+
+func (c *countingPolicy) Name() string { return c.name }
+func (c *countingPolicy) Tick(now sim.Time) {
+	*c.log = append(*c.log, c.name)
+}
+
+// One plane, one cadence: every registered policy ticks once per window,
+// in registration order — the phase ordering the combined experiment's
+// determinism depends on.
+func TestPlaneTicksPoliciesInOrder(t *testing.T) {
+	m := sim.NewMachine(sim.Config{Seed: 1})
+	var log []string
+	pl := NewPlane(sim.Micros(100))
+	pl.Add(&countingPolicy{"a", &log})
+	pl.Add(&countingPolicy{"b", &log})
+	pl.Start(m.Eng)
+	m.Go(0, func(p *sim.Proc) { p.Think(sim.Micros(1000)) })
+	m.RunAll()
+	m.Shutdown()
+
+	if pl.Ticks() < 9 || pl.Ticks() > 11 {
+		t.Fatalf("plane ran %d windows over 1ms at 100us, want ~10", pl.Ticks())
+	}
+	if uint64(len(log)) != 2*pl.Ticks() {
+		t.Fatalf("%d policy ticks for %d windows, want %d", len(log), pl.Ticks(), 2*pl.Ticks())
+	}
+	for i := 0; i < len(log); i += 2 {
+		if log[i] != "a" || log[i+1] != "b" {
+			t.Fatalf("window %d ticked out of registration order: %v", i/2, log[i:i+2])
+		}
+	}
+}
+
+func TestPlaneStartTwicePanics(t *testing.T) {
+	m := sim.NewMachine(sim.Config{Seed: 1})
+	pl := NewPlane(0)
+	if pl.Period() != sim.Micros(100) {
+		t.Fatalf("default period = %v, want 100us", pl.Period())
+	}
+	pl.Start(m.Eng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Start did not panic")
+		}
+	}()
+	pl.Start(m.Eng)
+}

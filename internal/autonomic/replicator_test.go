@@ -1,0 +1,283 @@
+package autonomic_test
+
+import (
+	"testing"
+
+	"hurricane/internal/autonomic"
+	"hurricane/internal/sim"
+	"hurricane/internal/trace"
+	"hurricane/internal/trace/placement"
+)
+
+var testTopo = autonomic.Topo{Stations: 4, ProcsPerStation: 4}
+
+// regionSlot wires a raw sim region into a ReplicaSlot the way
+// placement.ReplicateKernel wires kernel slots: traffic vectors from the
+// live aggregate, actuators straight into sim memory. Migration semantics
+// are mirrored from kernel.MigrateSlot: a replicated region collapses
+// before its primary moves.
+func regionSlot(m *sim.Machine, agg *trace.Aggregate, region int, name string) autonomic.ReplicaSlot {
+	return autonomic.ReplicaSlot{
+		Name:      name,
+		Region:    region,
+		Reads:     func() []uint64 { return agg.RegionReads[region] },
+		Writes:    func() []uint64 { return agg.RegionWrites[region] },
+		Replicate: func(p *sim.Proc, to int) { m.Mem.ReplicateRegion(p, region, to) },
+		Collapse:  func(p *sim.Proc) { m.Mem.CollapseRegion(region) },
+	}
+}
+
+// A region homed on station 0 but read almost exclusively from station 3
+// is replication's textbook case: the policy must install a copy on the
+// reader's module and the reader's loads must get cheaper.
+func TestReplicatorReplicatesReadMostlyRemoteTraffic(t *testing.T) {
+	m := sim.NewMachine(sim.Config{Seed: 1})
+	agg := trace.NewAggregate(16)
+	m.SetTracer(agg)
+	region := m.Mem.NewRegion(0)
+	data := m.Alloc(region, 16)
+
+	r := autonomic.NewReplicator(m, testTopo, autonomic.DefaultCosts(),
+		autonomic.ReplicatorParams{
+			Period:    sim.Micros(25),
+			MinWeight: 2,
+			Exec:      func(int) int { return 0 }, // proc 0 runs the actuations
+		},
+		[]autonomic.ReplicaSlot{regionSlot(m, agg, region, "data")})
+	r.Start()
+
+	horizon := sim.Time(sim.Micros(2000))
+	var firstLoad, lastLoad sim.Time
+	m.Go(12, func(p *sim.Proc) {
+		for p.Now() < horizon {
+			t0 := p.Now()
+			p.Load(data)
+			if firstLoad == 0 {
+				firstLoad = p.Now() - t0
+			}
+			lastLoad = p.Now() - t0
+			p.Think(50)
+		}
+	})
+	m.Go(0, func(p *sim.Proc) {
+		// The IPI executor: alive for the whole run, doing nothing.
+		for p.Now() < horizon {
+			p.Think(50)
+		}
+	})
+	m.RunAll()
+	m.Shutdown()
+
+	reps := m.Mem.Replicas(region)
+	if len(reps) != 1 || reps[0] != 12 {
+		t.Fatalf("replicas = %v, want [12] (the reader's module):\n%s", reps, r.Report())
+	}
+	if len(r.Actions()) == 0 || r.Actions()[0].Kind != "replicate" {
+		t.Fatalf("no replicate action recorded:\n%s", r.Report())
+	}
+	if lastLoad >= firstLoad {
+		t.Fatalf("read cost did not drop after replication: first %d cycles, last %d", firstLoad, lastLoad)
+	}
+	if m.Mem.ReplicaUpdates != 0 {
+		t.Fatalf("%d replica write-updates charged on a pure-read run", m.Mem.ReplicaUpdates)
+	}
+}
+
+// A replicated slot that turns write-hot must collapse back to its single
+// primary copy: every write was paying a per-replica update, and after the
+// collapse the region is migration's jurisdiction again.
+func TestReplicatorCollapsesWriteHotSlot(t *testing.T) {
+	m := sim.NewMachine(sim.Config{Seed: 1})
+	agg := trace.NewAggregate(16)
+	m.SetTracer(agg)
+	region := m.Mem.NewRegion(0)
+	data := m.Alloc(region, 16)
+
+	r := autonomic.NewReplicator(m, testTopo, autonomic.DefaultCosts(),
+		autonomic.ReplicatorParams{
+			Period:    sim.Micros(25),
+			MinWeight: 2,
+			Exec:      func(int) int { return 0 },
+		},
+		[]autonomic.ReplicaSlot{regionSlot(m, agg, region, "data")})
+	r.Start()
+
+	horizon := sim.Time(sim.Micros(2000))
+	m.Go(12, func(p *sim.Proc) {
+		// Inherit a stale replica set, then hammer writes.
+		m.Mem.ReplicateRegion(p, region, 12)
+		m.Mem.ReplicateRegion(p, region, 4)
+		for p.Now() < horizon {
+			p.Store(data, uint64(p.Now()))
+			p.Think(50)
+		}
+	})
+	m.Go(0, func(p *sim.Proc) {
+		for p.Now() < horizon {
+			p.Think(50)
+		}
+	})
+	m.RunAll()
+	m.Shutdown()
+
+	if reps := m.Mem.Replicas(region); len(reps) != 0 {
+		t.Fatalf("write-hot slot still replicated on %v:\n%s", reps, r.Report())
+	}
+	var collapses int
+	for _, a := range r.Actions() {
+		if a.Kind == "collapse" {
+			collapses++
+		}
+	}
+	if collapses != 1 {
+		t.Fatalf("%d collapse actions, want exactly 1:\n%s", collapses, r.Report())
+	}
+	if m.Mem.ReplicaUpdates == 0 {
+		t.Fatal("writes under replication charged no updates — the collapse saved nothing")
+	}
+}
+
+// The adversarial case the hysteresis band, budgets and the Yield hook
+// exist for: one slot alternating read-mostly and write-hot faster than
+// any placement can pay off, with BOTH policies live on one plane. The
+// run must stay bounded — each policy may be wrong at most Budget times —
+// and the two policies must hand the slot back and forth rather than
+// fight: no migration ever lands while the slot is replicated.
+func TestReplicatorAdversarialAlternationNoOscillation(t *testing.T) {
+	const budget = 3
+	m := sim.NewMachine(sim.Config{Seed: 1})
+	agg := trace.NewAggregate(16)
+	m.SetTracer(agg)
+	region := m.Mem.NewRegion(0)
+	data := m.Alloc(region, 16)
+
+	plane := autonomic.NewPlane(sim.Micros(25))
+	rep := autonomic.NewReplicator(m, testTopo, autonomic.DefaultCosts(),
+		autonomic.ReplicatorParams{
+			Period:    sim.Micros(25),
+			MinWeight: 1,
+			Budget:    budget,
+			Cooldown:  sim.Micros(50), // deliberately permissive: let it try
+			Exec:      func(int) int { return 0 },
+		},
+		[]autonomic.ReplicaSlot{regionSlot(m, agg, region, "data")})
+	plane.Add(rep)
+	d := placement.NewDaemon(m, agg, placement.Topo(testTopo), placement.DefaultCosts(),
+		placement.DaemonParams{
+			Period:    sim.Micros(25),
+			MinWeight: 1,
+			Budget:    budget,
+			Cooldown:  sim.Micros(50),
+			Yield:     rep.Claimed,
+			Exec:      func(int) int { return 0 },
+		},
+		[]placement.DaemonSlot{{
+			Name:   "data",
+			Region: region,
+			Migrate: func(p *sim.Proc, to int) {
+				// Kernel semantics: collapse any replicas, then move.
+				if m.Mem.Replicated(region) {
+					t.Errorf("migration dispatched onto a live replica set %v", m.Mem.Replicas(region))
+					m.Mem.CollapseRegion(region)
+				}
+				m.Mem.MigrateRegion(p, region, to)
+			},
+		}})
+	plane.Add(d)
+	plane.Start(m.Eng)
+
+	// 200us phases: read-mostly from station 3, then write-hot from
+	// station 3 — each long enough to confirm an action, far too short to
+	// repay one.
+	const phases = 12
+	m.Go(12, func(p *sim.Proc) {
+		for ph := 0; ph < phases; ph++ {
+			deadline := p.Now() + sim.Time(sim.Micros(200))
+			for p.Now() < deadline {
+				if ph%2 == 0 {
+					p.Load(data)
+				} else {
+					p.Store(data, uint64(ph))
+				}
+				p.Think(50)
+			}
+		}
+	})
+	m.Go(0, func(p *sim.Proc) {
+		end := sim.Time(sim.Micros(200 * (phases + 1)))
+		for p.Now() < end {
+			p.Think(50)
+		}
+	})
+	m.RunAll()
+	m.Shutdown()
+
+	if n := rep.SlotActions("data"); n > budget {
+		t.Fatalf("alternating load drove %d replication actions, budget is %d:\n%s",
+			n, budget, rep.Report())
+	}
+	if n := d.SlotMoves("data"); n > budget {
+		t.Fatalf("alternating load drove %d moves, budget is %d:\n%s", n, budget, d.Report())
+	}
+	if len(rep.Actions()) == 0 {
+		t.Fatal("replicator never acted — the alternation was not observed")
+	}
+}
+
+// Claimed is the plane's division-of-labor predicate: true for a slot the
+// replicator will act on (read-mostly with real traffic, or already
+// replicated), false for write-hot or cold slots — those belong to
+// migration.
+func TestReplicatorClaimedJurisdiction(t *testing.T) {
+	m := sim.NewMachine(sim.Config{Seed: 1})
+	readMostly := m.Mem.NewRegion(0)
+	writeHot := m.Mem.NewRegion(0)
+	cold := m.Mem.NewRegion(0)
+	m.Alloc(readMostly, 8)
+	m.Alloc(writeHot, 8)
+	m.Alloc(cold, 8)
+
+	// Synthetic cumulative traffic vectors: the fold in Tick diffs them per
+	// window, no simulated load needed. Write fractions are chosen inside
+	// the hysteresis band (read-mostly) and above it (write-hot) so Tick
+	// itself takes no action and only the classification is under test.
+	var window uint64
+	vec := func(module int, perWindow uint64) func() []uint64 {
+		return func() []uint64 {
+			v := make([]uint64, 16)
+			v[module] = perWindow * window
+			return v
+		}
+	}
+	synth := func(region int, name string, reads, writes uint64) autonomic.ReplicaSlot {
+		return autonomic.ReplicaSlot{
+			Name: name, Region: region,
+			Reads:  vec(12, reads),
+			Writes: vec(12, writes),
+		}
+	}
+	r := autonomic.NewReplicator(m, testTopo, autonomic.DefaultCosts(),
+		autonomic.ReplicatorParams{MinWeight: 4},
+		[]autonomic.ReplicaSlot{
+			synth(readMostly, "read-mostly", 9, 1), // wf 0.10: in-band, read-mostly
+			synth(writeHot, "write-hot", 5, 5),     // wf 0.50: migration's
+			synth(cold, "cold", 1, 0),              // below MinWeight
+		})
+	for i := 0; i < 32; i++ {
+		window++
+		r.Tick(sim.Time(i) * sim.Time(sim.Micros(100)))
+	}
+
+	if !r.Claimed(readMostly) {
+		t.Fatal("read-mostly slot with real traffic not claimed")
+	}
+	if r.Claimed(writeHot) {
+		t.Fatal("write-hot slot claimed — migration could never touch it")
+	}
+	if r.Claimed(cold) {
+		t.Fatal("cold slot claimed on no evidence")
+	}
+	if r.Claimed(99999) {
+		t.Fatal("unknown region claimed")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"hurricane/internal/kernel"
 	"hurricane/internal/locks"
 	"hurricane/internal/sim"
+	"hurricane/internal/tune"
 )
 
 // Config selects the system's structure. Zero values mean: HECTOR-16
@@ -46,6 +47,10 @@ type Config struct {
 	// Migratable allocates kernel-data slots in migratable regions so an
 	// online placement daemon can re-home them mid-run (see kernel.Config).
 	Migratable bool
+	// TuneParams parameterizes every feedback-tuned kernel lock when
+	// LockKind is KindTuned (see kernel.Config) — notably Params.Plane for
+	// autonomics-plane scheduling.
+	TuneParams *tune.Params
 	// Tracer, when non-nil, is installed on the machine before the kernel
 	// allocates anything, so a trace covers the system's whole lifetime.
 	Tracer sim.Tracer
@@ -75,6 +80,7 @@ func NewSystem(cfg Config) *System {
 		Buckets:     cfg.Buckets,
 		SlotModule:  cfg.SlotModule,
 		Migratable:  cfg.Migratable,
+		TuneParams:  cfg.TuneParams,
 	})
 	return &System{M: m, K: k, busy: make(map[int]bool)}
 }

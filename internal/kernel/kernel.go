@@ -59,21 +59,31 @@ type Config struct {
 	// default), slots are plain static allocations and the memory system
 	// behaves exactly as before — runs are bit-identical to older builds.
 	Migratable bool
+	// TuneParams, when non-nil and LockKind is KindTuned, parameterizes
+	// every kernel lock's feedback controller — in particular
+	// Params.Plane, which registers the samplers on a shared autonomics
+	// plane instead of private daemon events. Nil keeps the per-lock
+	// defaults (locks.NewTuned's zero Params).
+	TuneParams *tune.Params
 }
 
 // Stats aggregates kernel-wide event counters.
 type Stats struct {
-	Faults           uint64 // page faults handled
-	COWCopies        uint64 // private pages instantiated by COW faults
-	CoherenceRPCs    uint64 // write-notices sent to page-descriptor masters
-	DestroyRetries   uint64 // destruction restarts (reserve conflicts)
-	MsgRetries       uint64 // message-send restarts
-	Reestablishments uint64 // pessimistic re-validations of released state
-	Migrations       uint64 // online kernel-data slot migrations executed
-	MigratedWords    uint64 // words of kernel data copied by those migrations
-	MigrationCycles  uint64 // cycles stalled in migration copy bursts
-	Requests         uint64 // server requests completed (BeginRequest/EndRequest)
-	RequestCycles    uint64 // total request sojourn time in cycles
+	Faults            uint64 // page faults handled
+	COWCopies         uint64 // private pages instantiated by COW faults
+	CoherenceRPCs     uint64 // write-notices sent to page-descriptor masters
+	DestroyRetries    uint64 // destruction restarts (reserve conflicts)
+	MsgRetries        uint64 // message-send restarts
+	Reestablishments  uint64 // pessimistic re-validations of released state
+	Migrations        uint64 // online kernel-data slot migrations executed
+	MigratedWords     uint64 // words of kernel data copied by those migrations
+	MigrationCycles   uint64 // cycles stalled in migration copy bursts
+	Replications      uint64 // online kernel-data slot replications executed
+	ReplicatedWords   uint64 // words copied installing those replicas
+	ReplicationCycles uint64 // cycles stalled in replication copy bursts
+	Collapses         uint64 // replica sets collapsed back to one copy
+	Requests          uint64 // server requests completed (BeginRequest/EndRequest)
+	RequestCycles     uint64 // total request sojourn time in cycles
 }
 
 // Kernel ties the subsystems together.
@@ -87,6 +97,9 @@ type Kernel struct {
 
 	cfg   Config
 	Stats Stats
+	// extras are migratable slots registered by the workload (tenant data,
+	// say) beyond the VM's built-in kernel-data slots; see RegisterSlot.
+	extras []SlotRef
 }
 
 // New builds a kernel over machine m.
@@ -108,6 +121,37 @@ func New(m *sim.Machine, cfg Config) *Kernel {
 
 // Config returns the kernel's configuration.
 func (k *Kernel) Config() Config { return k.cfg }
+
+// newLock builds one coarse-grained kernel lock homed on the given module
+// (or region id), honoring Config.TuneParams for feedback-tuned locks so
+// every kernel controller shares one parameter set — and, through
+// Params.Plane, one autonomics-plane cadence.
+func (k *Kernel) newLock(home int) locks.Lock {
+	if k.cfg.LockKind == locks.KindTuned && k.cfg.TuneParams != nil {
+		return locks.NewTuned(k.M, home, *k.cfg.TuneParams)
+	}
+	return locks.New(k.M, k.cfg.LockKind, home)
+}
+
+// RegisterSlot places an existing migratable memory region under the
+// kernel's slot management: the returned SlotRef joins MigratableSlots, so
+// the autonomics plane's policies may migrate or replicate the region like
+// any kernel-data slot. The slot is guarded by cluster c's memory-manager
+// lock during moves. The caption labels it in move logs.
+func (k *Kernel) RegisterSlot(c int, label string, region int) SlotRef {
+	if c < 0 || c >= k.Topo.N {
+		panic(fmt.Sprintf("kernel: RegisterSlot on cluster %d of %d", c, k.Topo.N))
+	}
+	slot := slotsPerCluster
+	for _, e := range k.extras {
+		if e.Cluster == c {
+			slot++
+		}
+	}
+	ref := SlotRef{Cluster: c, Slot: slot, Region: region, Label: label}
+	k.extras = append(k.extras, ref)
+	return ref
+}
 
 // BeginRequest marks the start of a server request on processor p and
 // returns the timestamp EndRequest pairs with. The hooks cost no simulated

@@ -16,25 +16,50 @@ type SlotRef struct {
 	// Region is the slot's virtual module id (≥ NumModules). Resolve its
 	// current physical home with Machine.Mem.Home(Region).
 	Region int
+	// Label, when set, names the slot in reports instead of the default
+	// c<N>/slot<M> (workload-registered slots — see RegisterSlot).
+	Label string
 }
 
 // Name labels the slot in reports and move logs.
-func (s SlotRef) Name() string { return fmt.Sprintf("c%d/slot%d", s.Cluster, s.Slot) }
-
-// MigratableSlots lists every kernel-data slot the daemon may migrate, in
-// (cluster, slot) order. Empty unless Config.Migratable is set.
-func (k *Kernel) MigratableSlots() []SlotRef {
-	v := k.VM
-	if v.slotRegions == nil {
-		return nil
+func (s SlotRef) Name() string {
+	if s.Label != "" {
+		return s.Label
 	}
+	return fmt.Sprintf("c%d/slot%d", s.Cluster, s.Slot)
+}
+
+// MigratableSlots lists every kernel-data slot the autonomics policies may
+// act on, in (cluster, slot) order: the VM's built-in slots (present under
+// Config.Migratable) followed by workload-registered extras (RegisterSlot).
+func (k *Kernel) MigratableSlots() []SlotRef {
 	var refs []SlotRef
-	for c, slots := range v.slotRegions {
-		for s, region := range slots {
-			refs = append(refs, SlotRef{Cluster: c, Slot: s, Region: region})
+	if v := k.VM; v.slotRegions != nil {
+		for c, slots := range v.slotRegions {
+			for s, region := range slots {
+				refs = append(refs, SlotRef{Cluster: c, Slot: s, Region: region})
+			}
 		}
 	}
+	refs = append(refs, k.extras...)
 	return refs
+}
+
+// slotRegion resolves a (cluster, slot) pair to its memory region: VM
+// slots under Config.Migratable, then workload extras.
+func (k *Kernel) slotRegion(c, slot int) int {
+	if slot < slotsPerCluster {
+		if k.VM.slotRegions == nil {
+			panic("kernel: slot migration without Config.Migratable")
+		}
+		return k.VM.slotRegions[c][slot]
+	}
+	for _, e := range k.extras {
+		if e.Cluster == c && e.Slot == slot {
+			return e.Region
+		}
+	}
+	panic(fmt.Sprintf("kernel: unknown slot c%d/slot%d", c, slot))
 }
 
 // migrationLock is the lock that guards a slot's data against concurrent
@@ -61,18 +86,19 @@ func (k *Kernel) migrationLock(c, slot int) locks.Lock {
 // through the Gate — the daemon's executor does exactly that, interrupting
 // the processor co-located with the slot's current home.
 func (k *Kernel) MigrateSlot(p *sim.Proc, c, slot, to int) int {
-	v := k.VM
-	if v.slotRegions == nil {
-		panic("kernel: MigrateSlot without Config.Migratable")
-	}
-	region := v.slotRegions[c][slot]
-	if k.M.Mem.Home(region) == to {
+	region := k.slotRegion(c, slot)
+	if k.M.Mem.Home(region) == to && !k.M.Mem.Replicated(region) {
 		return 0
 	}
 	l := k.migrationLock(c, slot)
 	start := p.Now()
 	k.Gate.Enter(p)
 	l.Acquire(p)
+	// A replicated slot collapses before its primary moves: migration under
+	// live replicas is undefined (the copies would point at stale homes).
+	if n := k.M.Mem.CollapseRegion(region); n > 0 {
+		k.Stats.Collapses++
+	}
 	words, cost := k.M.Mem.MigrateRegion(p, region, to)
 	l.Release(p)
 	k.Gate.Exit(p)
@@ -81,4 +107,55 @@ func (k *Kernel) MigrateSlot(p *sim.Proc, c, slot, to int) int {
 	k.Stats.MigrationCycles += uint64(cost)
 	k.M.EmitSpan(sim.SpanMigrate, "migrate", p.ID(), start, p.Now(), to, uint64(words))
 	return words
+}
+
+// ReplicateSlot installs a copy of cluster c's kernel-data slot on physical
+// module `to`, charging the copy burst to processor p under the slot's
+// guarding lock, exactly like MigrateSlot charges a move. Returns the words
+// copied (0 if `to` already holds a copy — no lock taken, no cost).
+func (k *Kernel) ReplicateSlot(p *sim.Proc, c, slot, to int) int {
+	region := k.slotRegion(c, slot)
+	if k.M.Mem.Home(region) == to {
+		return 0
+	}
+	for _, r := range k.M.Mem.Replicas(region) {
+		if r == to {
+			return 0
+		}
+	}
+	l := k.migrationLock(c, slot)
+	start := p.Now()
+	k.Gate.Enter(p)
+	l.Acquire(p)
+	words, cost := k.M.Mem.ReplicateRegion(p, region, to)
+	l.Release(p)
+	k.Gate.Exit(p)
+	k.Stats.Replications++
+	k.Stats.ReplicatedWords += uint64(words)
+	k.Stats.ReplicationCycles += uint64(cost)
+	k.M.EmitSpan(sim.SpanMigrate, "replicate", p.ID(), start, p.Now(), to, uint64(words))
+	return words
+}
+
+// CollapseSlot drops every replica of cluster c's kernel-data slot,
+// returning how many were dropped (0 when unreplicated — no lock taken).
+// The invalidation itself is free; the lock hold serializes it against
+// concurrent kernel use of the slot.
+func (k *Kernel) CollapseSlot(p *sim.Proc, c, slot int) int {
+	region := k.slotRegion(c, slot)
+	if !k.M.Mem.Replicated(region) {
+		return 0
+	}
+	l := k.migrationLock(c, slot)
+	start := p.Now()
+	k.Gate.Enter(p)
+	l.Acquire(p)
+	n := k.M.Mem.CollapseRegion(region)
+	l.Release(p)
+	k.Gate.Exit(p)
+	if n > 0 {
+		k.Stats.Collapses++
+	}
+	k.M.EmitSpan(sim.SpanMigrate, "collapse", p.ID(), start, p.Now(), k.M.Mem.Home(region), uint64(n))
+	return n
 }

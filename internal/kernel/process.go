@@ -37,7 +37,8 @@ func newProcessManager(k *Kernel) *ProcessManager {
 		tables: make([]*hybrid.Table, k.Topo.N),
 	}
 	for c := 0; c < k.Topo.N; c++ {
-		t := hybrid.New(k.M, k.Topo.SlotModule(c, 3), k.cfg.Buckets, descPayload, k.cfg.LockKind)
+		home := k.Topo.SlotModule(c, 3)
+		t := hybrid.NewShared(k.M, k.newLock(home), home, k.cfg.Buckets, descPayload)
 		t.Guard = k.Gate
 		pm.tables[c] = t
 	}

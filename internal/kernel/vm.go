@@ -117,7 +117,7 @@ func newVM(k *Kernel) *VM {
 	v.mmLocks = make([]locks.Lock, k.Topo.N)
 	mmModule := func(c int) int { return v.slotModule(c, 0) }
 	for c := 0; c < k.Topo.N; c++ {
-		v.mmLocks[c] = locks.New(k.M, k.cfg.LockKind, mmModule(c))
+		v.mmLocks[c] = k.newLock(mmModule(c))
 	}
 	lockOf := func(c int) locks.Lock { return v.mmLocks[c] }
 	v.regions = cluster.NewReplicatedShared(k.Topo, k.RPC, k.cfg.Buckets, 2, lockOf, mmModule)
@@ -127,7 +127,7 @@ func newVM(k *Kernel) *VM {
 	v.scratch = make([][]sim.Addr, k.Topo.N)
 	for c := 0; c < k.Topo.N; c++ {
 		module := v.slotModule(c, 3)
-		v.aspaces[c] = hybrid.New(k.M, module, k.cfg.Buckets, 1, k.cfg.LockKind)
+		v.aspaces[c] = hybrid.NewShared(k.M, k.newLock(module), module, k.cfg.Buckets, 1)
 		v.aspaces[c].Guard = k.Gate
 		for s := 0; s < 4; s++ {
 			m := v.slotModule(c, s)

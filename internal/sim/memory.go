@@ -109,6 +109,17 @@ type Memory struct {
 	// words never move, only the traffic does.
 	data  [][]uint64
 	homes []int
+	// replicas maps a region id to the extra physical modules holding a
+	// copy (sorted; the primary stays homes[region]). Nil until the first
+	// ReplicateRegion, so unreplicated runs pay no lookup. A replicated
+	// region serves loads from the requester's nearest copy and charges
+	// every write an update per replica — the classic read-mostly
+	// replication trade (see cluster/replicated.go for the lock-level
+	// analogue).
+	replicas map[int][]int
+	// ReplicaUpdates counts write-propagation transfers charged to keep
+	// replicas coherent (one per extra copy per write).
+	ReplicaUpdates uint64
 	// watchers is sharded by the watched word's station (regions, which can
 	// migrate between stations, share one extra shard): in parallel mode a
 	// shard is touched only by its owning logical process, and in serial
@@ -251,12 +262,27 @@ func (m *Memory) MigrateRegion(p *Proc, region, to int) (words int, cost Duratio
 	if to < 0 || to >= len(m.modules) {
 		panic(fmt.Sprintf("sim: MigrateRegion to invalid module %d", to))
 	}
+	if len(m.replicas[region]) > 0 {
+		panic(fmt.Sprintf("sim: MigrateRegion of replicated region %d (collapse first)", region))
+	}
 	from := m.homes[region]
 	words = len(m.data[region]) - 1
 	if from == to || words == 0 {
 		m.homes[region] = to
 		return words, 0
 	}
+	cost = m.burst(from, to, words)
+	m.homes[region] = to
+	p.Think(cost)
+	return words, cost
+}
+
+// burst charges a pipelined words-long DMA copy from module `from` to
+// module `to`: every word occupies the source module, the buses and
+// ring(s) along the path, and the destination module for one service time
+// each. It returns the total latency (last word landed), queueing
+// included. Shared by MigrateRegion and ReplicateRegion.
+func (m *Memory) burst(from, to, words int) Duration {
 	now := m.eng.Now()
 	w := Duration(words)
 	t := m.modules[from].Acquire(now, m.lat.ModuleService*w)
@@ -283,11 +309,82 @@ func (m *Memory) MigrateRegion(p *Proc, region, to int) (words int, cost Duratio
 	}
 	t = m.modules[to].Acquire(t, m.lat.ModuleService*w)
 	done := t + m.lat.ModuleService*w + base
-	m.homes[region] = to
-	cost = done - now
-	p.Think(cost)
+	return done - now
+}
+
+// ReplicateRegion installs a copy of a region on module `to`, charging the
+// copy burst from the region's primary home to the new replica module
+// exactly like a migration charges its move. Afterwards loads of the
+// region are served by the requester's nearest copy (primary included)
+// and every write additionally charges one update transfer per replica —
+// replication buys read locality at a per-write price, the paper's
+// read-mostly data trade. Replicating onto the primary home or an
+// existing replica is a free no-op. The primary cannot migrate while
+// replicas exist (MigrateRegion panics); CollapseRegion drops them.
+func (m *Memory) ReplicateRegion(p *Proc, region, to int) (words int, cost Duration) {
+	if m.par != nil {
+		panic("sim: ReplicateRegion is not supported in parallel mode")
+	}
+	if region < len(m.modules) || region >= len(m.data) {
+		panic(fmt.Sprintf("sim: ReplicateRegion of non-region %d", region))
+	}
+	if to < 0 || to >= len(m.modules) {
+		panic(fmt.Sprintf("sim: ReplicateRegion to invalid module %d", to))
+	}
+	if to == m.homes[region] {
+		return 0, 0
+	}
+	for _, r := range m.replicas[region] {
+		if r == to {
+			return 0, 0
+		}
+	}
+	words = len(m.data[region]) - 1
+	if words > 0 {
+		cost = m.burst(m.homes[region], to, words)
+	}
+	if m.replicas == nil {
+		m.replicas = make(map[int][]int)
+	}
+	reps := append(m.replicas[region], to)
+	// Keep the set sorted so nearest-copy tie-breaking is deterministic
+	// regardless of installation order.
+	for i := len(reps) - 1; i > 0 && reps[i] < reps[i-1]; i-- {
+		reps[i], reps[i-1] = reps[i-1], reps[i]
+	}
+	m.replicas[region] = reps
+	if cost > 0 {
+		p.Think(cost)
+	}
 	return words, cost
 }
+
+// CollapseRegion drops all replicas of a region, returning how many were
+// dropped. The invalidation broadcast itself is free (a handful of
+// control-message words, noise next to the copies it undoes); the saving
+// is that subsequent writes stop paying per-replica updates.
+func (m *Memory) CollapseRegion(region int) int {
+	if region < 0 || region >= len(m.data) {
+		panic(fmt.Sprintf("sim: CollapseRegion of invalid id %d", region))
+	}
+	n := len(m.replicas[region])
+	if n > 0 {
+		delete(m.replicas, region)
+	}
+	return n
+}
+
+// Replicas returns the region's extra copy modules (sorted, primary
+// excluded), nil when unreplicated. The slice is live; do not mutate.
+func (m *Memory) Replicas(region int) []int {
+	if m.replicas == nil {
+		return nil
+	}
+	return m.replicas[region]
+}
+
+// Replicated reports whether the region currently has replicas.
+func (m *Memory) Replicated(region int) bool { return len(m.Replicas(region)) > 0 }
 
 func (m *Memory) stationOf(module int) int { return module / m.procsPerStation }
 
@@ -406,14 +503,23 @@ var accessNames = [...]string{accLoad: "load", accStore: "store", accSwap: "swap
 
 func (m *Memory) access(p *Proc, a Addr, kind accessKind, operand, expect uint64) (old uint64, done Time, ok bool) {
 	src := p.module
-	dst := m.homes[a.Module()] // resolve region → current physical home
+	idx := a.Module()
+	dst := m.homes[idx] // resolve region → current physical home
+	var reps []int
+	if m.replicas != nil && idx >= len(m.modules) {
+		reps = m.replicas[idx]
+	}
+	if len(reps) > 0 && kind == accLoad {
+		// A replicated region serves reads from the requester's nearest
+		// copy; the primary competes on equal terms.
+		dst = m.nearestCopy(src, dst, reps)
+	}
 	if m.par != nil && m.stationOf(src) != m.stationOf(dst) {
 		// Parallel mode: the access leaves this station's logical process
 		// and travels as a timestamped inter-LP message (see parallel.go).
 		return m.par.remoteAccess(p, a, kind, operand, expect)
 	}
 	now := p.eng.Now()
-	t := now
 
 	// An atomic read-modify-write is two memory transactions on HECTOR:
 	// it occupies the module, buses and ring for both halves, though the
@@ -425,6 +531,61 @@ func (m *Memory) access(p *Proc, a Addr, kind accessKind, operand, expect uint64
 		extra = m.lat.AtomicExtra
 	}
 
+	t, base := m.path(src, dst, now, nAcc)
+
+	queueDelay := t - now
+	done = now + queueDelay + base + extra
+
+	w := m.word(a)
+	old = *w
+	ok = true
+	if kind == accCAS && old != expect {
+		ok = false
+	}
+	if len(reps) > 0 && ok && kind != accLoad {
+		// Write propagation: every extra copy is brought up to date by one
+		// plain transfer from the writer, and the writer waits for the last
+		// acknowledgement (sequentially-consistent update broadcast — the
+		// strictest, and simplest, coherence model).
+		for _, r := range reps {
+			ut, ubase := m.path(src, r, now, 1)
+			if ud := ut + ubase; ud > done {
+				done = ud
+			}
+			m.ReplicaUpdates++
+		}
+	}
+
+	if p.eng.tracer != nil {
+		p.eng.tracer.Event(TraceEvent{
+			Kind: EvAccess, Name: accessNames[kind], Proc: p.id,
+			Start: now, End: done,
+			Src: src, Dst: dst, Dist: m.Distance(src, dst), Arg: uint64(a),
+		})
+	}
+
+	switch kind {
+	case accStore:
+		*w = operand
+		m.wakeWatchers(a, done)
+	case accSwap:
+		*w = operand
+		m.wakeWatchers(a, done)
+	case accCAS:
+		if ok {
+			*w = operand
+			m.wakeWatchers(a, done)
+		}
+	}
+	return old, done, ok
+}
+
+// path charges one nAcc-wide access from module src to module dst through
+// the interconnect, starting at t: it acquires the buses and ring(s) along
+// the way and the destination module, returning the module-acquisition
+// completion time and the distance-class base latency. Callers add base
+// (and any atomic extra) to the queueing delay themselves.
+func (m *Memory) path(src, dst int, t Time, nAcc Duration) (Time, Duration) {
 	var base Duration
 	switch {
 	case src == dst:
@@ -450,37 +611,20 @@ func (m *Memory) access(p *Proc, a Addr, kind accessKind, operand, expect uint64
 		t = m.buses[ds].Acquire(t, m.lat.BusService*nAcc)
 	}
 	t = m.modules[dst].Acquire(t, m.lat.ModuleService*nAcc)
+	return t, base
+}
 
-	queueDelay := t - now
-	done = now + queueDelay + base + extra
-
-	if p.eng.tracer != nil {
-		p.eng.tracer.Event(TraceEvent{
-			Kind: EvAccess, Name: accessNames[kind], Proc: p.id,
-			Start: now, End: done,
-			Src: src, Dst: dst, Dist: m.Distance(src, dst), Arg: uint64(a),
-		})
-	}
-
-	w := m.word(a)
-	old = *w
-	ok = true
-	switch kind {
-	case accStore:
-		*w = operand
-		m.wakeWatchers(a, done)
-	case accSwap:
-		*w = operand
-		m.wakeWatchers(a, done)
-	case accCAS:
-		if old == expect {
-			*w = operand
-			m.wakeWatchers(a, done)
-		} else {
-			ok = false
+// nearestCopy picks the copy of a replicated region closest to src by
+// distance class, ties broken toward the lowest module number (primary
+// included), so the choice is deterministic.
+func (m *Memory) nearestCopy(src, primary int, reps []int) int {
+	best, bestD := primary, m.Distance(src, primary)
+	for _, r := range reps {
+		if d := m.Distance(src, r); d < bestD || (d == bestD && r < best) {
+			best, bestD = r, d
 		}
 	}
-	return old, done, ok
+	return best
 }
 
 // watch registers p to be woken when the word at a is next written. p must

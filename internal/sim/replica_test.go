@@ -1,0 +1,136 @@
+package sim
+
+import "testing"
+
+// A replicated region serves each reader from its nearest copy: after a
+// replica lands on the reader's own module, a load costs the local latency
+// instead of crossing the ring, and the stored value is unchanged.
+func TestReplicateRegionServesNearestCopy(t *testing.T) {
+	m := hector(1)
+	r := m.Mem.NewRegion(0)
+	a := m.Alloc(r, 8)
+	var before, after Time
+	m.Go(12, func(p *Proc) {
+		p.Store(a, 42)
+		t0 := p.Now()
+		p.Load(a)
+		before = p.Now() - t0
+		words, cost := m.Mem.ReplicateRegion(p, r, 12)
+		if words != 8 || cost <= 0 {
+			t.Errorf("replication copied %d words at cost %d, want 8 words at cost > 0", words, cost)
+		}
+		t0 = p.Now()
+		if v := p.Load(a); v != 42 {
+			t.Errorf("load after replication = %d, want 42", v)
+		}
+		after = p.Now() - t0
+	})
+	m.RunAll()
+	m.Shutdown()
+	if after >= before {
+		t.Fatalf("replica did not make the read cheaper: %d cycles before, %d after", before, after)
+	}
+	if after != Time(m.Lat().Local) {
+		t.Fatalf("read from a co-located replica cost %d, want local latency %d", after, m.Lat().Local)
+	}
+	if m.Mem.Home(r) != 0 {
+		t.Fatalf("replication moved the primary home to %d", m.Mem.Home(r))
+	}
+}
+
+// Writes to a replicated region pay an update per extra copy: the writer
+// waits for the propagation and ReplicaUpdates counts each transfer.
+func TestReplicaWriteChargesUpdates(t *testing.T) {
+	m := hector(1)
+	r := m.Mem.NewRegion(0)
+	a := m.Alloc(r, 8)
+	var plain, replicated Time
+	m.Go(0, func(p *Proc) {
+		t0 := p.Now()
+		p.Store(a, 1)
+		plain = p.Now() - t0
+		m.Mem.ReplicateRegion(p, r, 12)
+		m.Mem.ReplicateRegion(p, r, 4)
+		t0 = p.Now()
+		p.Store(a, 2)
+		replicated = p.Now() - t0
+	})
+	m.RunAll()
+	m.Shutdown()
+	if m.Mem.ReplicaUpdates != 2 {
+		t.Fatalf("ReplicaUpdates = %d after one store under two replicas, want 2", m.Mem.ReplicaUpdates)
+	}
+	if replicated <= plain {
+		t.Fatalf("store under replicas (%d cycles) not dearer than unreplicated store (%d)", replicated, plain)
+	}
+}
+
+// Replication is idempotent and never copies onto the primary; migration
+// of a live replica set is undefined and must panic; a collapse is free,
+// reports what it dropped, and reopens migration.
+func TestReplicateCollapseMigrateContract(t *testing.T) {
+	m := hector(1)
+	r := m.Mem.NewRegion(0)
+	m.Alloc(r, 8)
+	m.Go(0, func(p *Proc) {
+		if w, c := m.Mem.ReplicateRegion(p, r, 0); w != 0 || c != 0 {
+			t.Errorf("replicating onto the primary home charged %d words / %d cycles", w, c)
+		}
+		m.Mem.ReplicateRegion(p, r, 12)
+		if w, c := m.Mem.ReplicateRegion(p, r, 12); w != 0 || c != 0 {
+			t.Errorf("re-replicating an existing copy charged %d words / %d cycles", w, c)
+		}
+		if !m.Mem.Replicated(r) {
+			t.Error("region not replicated after ReplicateRegion")
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("MigrateRegion of a replicated region did not panic")
+				}
+			}()
+			m.Mem.MigrateRegion(p, r, 4)
+		}()
+		if n := m.Mem.CollapseRegion(r); n != 1 {
+			t.Errorf("collapse dropped %d replicas, want 1", n)
+		}
+		if n := m.Mem.CollapseRegion(r); n != 0 {
+			t.Errorf("collapse of an unreplicated region dropped %d", n)
+		}
+		t0 := p.Now()
+		m.Mem.MigrateRegion(p, r, 4)
+		if p.Now() == t0 {
+			t.Error("post-collapse migration charged nothing")
+		}
+	})
+	m.RunAll()
+	m.Shutdown()
+	if m.Mem.Home(r) != 4 {
+		t.Fatalf("home after collapse+migrate = %d, want 4", m.Mem.Home(r))
+	}
+}
+
+// Replicas keeps the copy set sorted regardless of installation order, so
+// nearest-copy tie-breaking is deterministic.
+func TestReplicasSortedDeterministically(t *testing.T) {
+	m := hector(1)
+	r := m.Mem.NewRegion(5)
+	m.Alloc(r, 2)
+	m.Go(0, func(p *Proc) {
+		m.Mem.ReplicateRegion(p, r, 12)
+		m.Mem.ReplicateRegion(p, r, 1)
+		m.Mem.ReplicateRegion(p, r, 8)
+	})
+	m.RunAll()
+	m.Shutdown()
+	reps := m.Mem.Replicas(r)
+	want := []int{1, 8, 12}
+	if len(reps) != len(want) {
+		t.Fatalf("replicas = %v, want %v", reps, want)
+	}
+	for i := range want {
+		if reps[i] != want[i] {
+			t.Fatalf("replicas = %v, want %v", reps, want)
+		}
+	}
+}

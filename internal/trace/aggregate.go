@@ -27,6 +27,12 @@ type Aggregate struct {
 	// placement daemon move them independently; the matrices above fold the
 	// same traffic into the physical home for distance accounting.
 	RegionAccess map[int][]uint64
+	// RegionReads and RegionWrites split RegionAccess by operation: loads
+	// on one side, stores and atomics (swap, cas) on the other. The
+	// replication policy feeds on the split — a region's write fraction is
+	// what decides replicate vs migrate vs collapse.
+	RegionReads  map[int][]uint64
+	RegionWrites map[int][]uint64
 	// EventCount totals events by kind (EvAccess..EvInstant).
 	EventCount map[sim.EventKind]uint64
 	// Objects accumulates span statistics keyed by (span kind, name, home).
@@ -83,11 +89,20 @@ func (a *Aggregate) Event(ev sim.TraceEvent) {
 				if vec == nil {
 					if a.RegionAccess == nil {
 						a.RegionAccess = make(map[int][]uint64)
+						a.RegionReads = make(map[int][]uint64)
+						a.RegionWrites = make(map[int][]uint64)
 					}
 					vec = make([]uint64, a.modules)
 					a.RegionAccess[id] = vec
+					a.RegionReads[id] = make([]uint64, a.modules)
+					a.RegionWrites[id] = make([]uint64, a.modules)
 				}
 				vec[ev.Src]++
+				if ev.Name == "load" {
+					a.RegionReads[id][ev.Src]++
+				} else {
+					a.RegionWrites[id][ev.Src]++
+				}
 			}
 		}
 	case sim.EvSpan:

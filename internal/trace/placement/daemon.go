@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"hurricane/internal/autonomic"
 	"hurricane/internal/kernel"
 	"hurricane/internal/sim"
 	"hurricane/internal/trace"
@@ -56,6 +57,13 @@ type DaemonParams struct {
 	// (default 8x Period), so an oscillating workload at most flips a slot
 	// once per cooldown until the budget runs out.
 	Cooldown sim.Duration
+	// Yield, when non-nil, marks regions another policy has claimed: the
+	// daemon folds their windows but never moves them. On a shared
+	// autonomics plane this is wired to the replication policy's Claimed,
+	// so a read-mostly slot the replicator is about to copy is never
+	// shuffled by the migrator first (nil: the daemon only defers to
+	// already-installed replicas).
+	Yield func(region int) bool
 	// Exec picks the processor that executes a move, given the slot's
 	// current physical home. Default: the processor co-located with the
 	// home (processor and module numbers coincide on HECTOR). Override
@@ -137,13 +145,11 @@ type Daemon struct {
 
 type slotState struct {
 	DaemonSlot
-	snap     []uint64  // cumulative vector at last tick
-	smooth   []float64 // EWMA of windowed diffs
-	moved    int       // moves executed (counts against Budget)
-	lastMove sim.Time
-	target   int // requested home of an in-flight move, -1 when idle
-	cand     int // destination nominated by recent windows, -1 when none
-	streak   int // consecutive windows cand has won (gates on Confirm)
+	snap   []uint64         // cumulative vector at last tick
+	smooth []float64        // EWMA of windowed diffs
+	gate   autonomic.Gate   // per-slot move budget + cooldown
+	target int              // requested home of an in-flight move, -1 when idle
+	streak autonomic.Streak // destination confirmation across windows
 }
 
 // NewDaemon builds a daemon over machine m, observing the live aggregate
@@ -157,8 +163,9 @@ func NewDaemon(m *sim.Machine, agg *trace.Aggregate, topo Topo, costs Costs, par
 			DaemonSlot: s,
 			snap:       make([]uint64, n),
 			smooth:     make([]float64, n),
+			gate:       autonomic.Gate{Budget: d.p.Budget, Cooldown: d.p.Cooldown},
 			target:     -1,
-			cand:       -1,
+			streak:     autonomic.NewStreak(d.p.Confirm),
 		})
 	}
 	return d
@@ -174,11 +181,14 @@ func (d *Daemon) Moves() []Move { return d.moves }
 func (d *Daemon) SlotMoves(name string) int {
 	for _, s := range d.slots {
 		if s.Name == name {
-			return s.moved
+			return s.gate.Used()
 		}
 	}
 	return 0
 }
+
+// Name implements autonomic.Policy.
+func (d *Daemon) Name() string { return "migrate" }
 
 // Ticks reports how many sampling windows have been consumed.
 func (d *Daemon) Ticks() uint64 { return d.ticks }
@@ -186,12 +196,16 @@ func (d *Daemon) Ticks() uint64 { return d.ticks }
 // Start registers the sampling hook: a daemon event every Period that
 // neither consumes simulated time nor keeps the run alive. Determinism is
 // preserved the same way tune.Attach preserves it — the only feedback path
-// into the simulation is the migrations the daemon requests.
+// into the simulation is the migrations the daemon requests. Alternatively
+// register the daemon on an autonomic.Plane (it implements
+// autonomic.Policy) to share one cadence with the other policies; do not
+// do both.
 func (d *Daemon) Start() {
-	d.m.Eng.Every(d.p.Period, d.tick)
+	d.m.Eng.Every(d.p.Period, d.Tick)
 }
 
-func (d *Daemon) tick(now sim.Time) {
+// Tick implements autonomic.Policy: one observation window.
+func (d *Daemon) Tick(now sim.Time) {
 	d.ticks++
 	n := d.topo.Modules()
 	if m := d.agg.Modules(); m < n {
@@ -223,10 +237,18 @@ func (d *Daemon) tick(now sim.Time) {
 			}
 			s.target = -1
 		}
-		if s.moved >= d.p.Budget {
+		// A replicated slot belongs to the replication policy until it
+		// collapses back to one copy: migrating the primary under live
+		// replicas is not a defined operation. A claimed one (Yield) is
+		// spoken for the same way before the first copy even lands.
+		if d.m.Mem.Replicated(s.Region) {
 			continue
 		}
-		if s.lastMove != 0 && now-s.lastMove < sim.Time(d.p.Cooldown) {
+		if d.p.Yield != nil && d.p.Yield(s.Region) {
+			s.streak.Clear()
+			continue
+		}
+		if !s.gate.Ready(now) {
 			continue
 		}
 		var weight float64
@@ -246,27 +268,21 @@ func (d *Daemon) tick(now sim.Time) {
 			// scale) must repay the copy within the Payback horizon.
 			benefit := (prop.CurCost - prop.NewCost) / 16
 			copyCost := float64(d.m.Mem.RegionWords(s.Region)) * d.costs.Ring
-			if benefit*float64(d.p.Payback) < copyCost {
+			if !autonomic.Worthwhile(benefit, d.p.Payback, copyCost) {
 				prop.Proposed = prop.Home
 			}
 		}
 		if !prop.Moved() {
-			s.cand, s.streak = -1, 0
+			s.streak.Clear()
 			continue
 		}
-		if prop.Proposed != s.cand {
-			s.cand, s.streak = prop.Proposed, 1
-		} else {
-			s.streak++
-		}
-		if s.streak < d.p.Confirm {
+		if !s.streak.Observe(prop.Proposed) {
 			continue
 		}
-		s.cand, s.streak = -1, 0
+		s.streak.Clear()
 		to := prop.Proposed
 		s.target = to
-		s.moved++
-		s.lastMove = now
+		s.gate.Spend(now)
 		// Shift the slot's cumulative traffic in the projected-load vector
 		// so the next slot this tick sees it and near-tied candidates
 		// spread instead of piling up (mirrors Analyze's assignment loop).
@@ -312,6 +328,38 @@ func ManageKernel(k *kernel.Kernel) []DaemonSlot {
 			Migrate: func(p *sim.Proc, to int) {
 				k.Gate.Dispatch(p, func(h *sim.Proc) {
 					k.MigrateSlot(h, ref.Cluster, ref.Slot, to)
+				})
+			},
+		})
+	}
+	return slots
+}
+
+// ReplicateKernel builds the replication policy's slot list from the same
+// kernel: per-slot read/write vectors come from the live aggregate's
+// split region matrices, and the actuators dispatch through the kernel's
+// interrupt gate like migrations do. Pair with ManageKernel on one
+// autonomic.Plane — the daemon skips replicated slots and the replicator
+// collapses write-hot ones, so the two policies hand objects back and
+// forth instead of fighting.
+func ReplicateKernel(k *kernel.Kernel, agg *trace.Aggregate) []autonomic.ReplicaSlot {
+	var slots []autonomic.ReplicaSlot
+	for _, ref := range k.MigratableSlots() {
+		ref := ref
+		region := ref.Region
+		slots = append(slots, autonomic.ReplicaSlot{
+			Name:   ref.Name(),
+			Region: region,
+			Reads:  func() []uint64 { return agg.RegionReads[region] },
+			Writes: func() []uint64 { return agg.RegionWrites[region] },
+			Replicate: func(p *sim.Proc, to int) {
+				k.Gate.Dispatch(p, func(h *sim.Proc) {
+					k.ReplicateSlot(h, ref.Cluster, ref.Slot, to)
+				})
+			},
+			Collapse: func(p *sim.Proc) {
+				k.Gate.Dispatch(p, func(h *sim.Proc) {
+					k.CollapseSlot(h, ref.Cluster, ref.Slot)
 				})
 			},
 		})

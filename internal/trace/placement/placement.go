@@ -27,54 +27,25 @@ import (
 	"sort"
 	"strings"
 
+	"hurricane/internal/autonomic"
 	"hurricane/internal/sim"
 	"hurricane/internal/trace"
 )
 
-// Topo is the machine topology the analyzer reasons over (it must match
-// the traced machine; cmd/traceanal reads it from the trace metadata).
-type Topo struct {
-	Stations, ProcsPerStation int
-}
-
-// Modules reports the module count.
-func (t Topo) Modules() int { return t.Stations * t.ProcsPerStation }
-
-// Dist classifies the distance from module src to module dst.
-func (t Topo) Dist(src, dst int) sim.DistClass {
-	switch {
-	case src == dst:
-		return sim.DistLocal
-	case src/t.ProcsPerStation == dst/t.ProcsPerStation:
-		return sim.DistStation
-	default:
-		return sim.DistRing
-	}
-}
-
-// Costs weighs one access at each distance class, in cycles. Use the
-// traced machine's uncontended latencies.
-type Costs struct {
-	Local, Station, Ring float64
-}
+// Topo and Costs live in internal/autonomic now — every policy of the
+// autonomics plane (migration, replication) shares one topology and cost
+// model. The aliases keep this package's historical API, and
+// cmd/traceanal's trace-metadata round trip, intact.
+type (
+	Topo  = autonomic.Topo
+	Costs = autonomic.Costs
+)
 
 // CostsFromLatency derives weights from a machine's latency parameters.
-func CostsFromLatency(lat sim.Latency) Costs {
-	return Costs{Local: float64(lat.Local), Station: float64(lat.Station), Ring: float64(lat.Ring)}
-}
+func CostsFromLatency(lat sim.Latency) Costs { return autonomic.CostsFromLatency(lat) }
 
 // DefaultCosts are the HECTOR weights (10/19/23 cycles).
-func DefaultCosts() Costs { return CostsFromLatency(sim.DefaultLatency()) }
-
-func (c Costs) of(d sim.DistClass) float64 {
-	switch d {
-	case sim.DistLocal:
-		return c.Local
-	case sim.DistStation:
-		return c.Station
-	}
-	return c.Ring
-}
+func DefaultCosts() Costs { return autonomic.DefaultCosts() }
 
 // keepEpsilon is the indifference band: a move must beat the current home
 // by more than this fraction of cost to be proposed, and candidates within
@@ -179,7 +150,7 @@ func propose(object string, home int, vector []uint64, topo Topo, costs Costs, l
 			if cnt == 0 || src >= n {
 				continue
 			}
-			c += float64(cnt) * costs.of(topo.Dist(src, cand))
+			c += float64(cnt) * costs.Of(topo.Dist(src, cand))
 		}
 		return c
 	}

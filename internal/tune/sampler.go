@@ -1,50 +1,81 @@
 package tune
 
-import "hurricane/internal/sim"
+import (
+	"hurricane/internal/sim"
+)
 
-// Attach wires a Controller to a machine: every Period cycles a daemon
-// event samples the home module's utilization over the elapsed window plus
-// the lock's cumulative counters (via probe, read at zero simulated cost)
-// and feeds the windowed diff to the controller. The hook is an engine
-// daemon, so it neither consumes simulated time nor keeps the run alive —
-// determinism is preserved, and the only feedback path into the simulation
-// is the constants the controller publishes.
+// Sampler is the controller's observation hook as an autonomic policy:
+// each Tick samples the home module's utilization over the elapsed window
+// plus the lock's cumulative counters (via probe, read at zero simulated
+// cost) and feeds the windowed diff to the controller. It neither consumes
+// simulated time nor keeps the run alive — determinism is preserved, and
+// the only feedback path into the simulation is the constants the
+// controller publishes.
 //
 // Resource statistics are windowed (experiments call ResetStats mid-run to
 // open a measurement window), so the sampler diffs the cumulative busy
 // counter and resynchronizes whenever it observes the counter move
 // backwards: the window that straddles a reset is dropped rather than
 // mis-measured. Lock counters are monotone and need no such handling.
-func Attach(eng *sim.Engine, home *sim.Resource, probe func() Counters, c *Controller) {
-	var (
-		lastBusy sim.Duration
-		lastTime sim.Time
-		last     Counters
-	)
-	lastBusy = home.Busy
-	last = probe()
-	eng.Every(c.p.Period, func(now sim.Time) {
-		busy := home.Busy
-		cur := probe()
-		defer func() {
-			lastBusy, lastTime = busy, now
-			last = cur
-		}()
-		if busy < lastBusy || now <= lastTime {
-			// A ResetStats landed inside this window; skip it.
-			return
-		}
-		s := Sample{
-			Now:      now,
-			HomeUtil: float64(busy-lastBusy) / float64(now-lastTime),
-			Lock: Counters{
-				Attempts:           cur.Attempts - last.Attempts,
-				Failures:           cur.Failures - last.Failures,
-				Acquisitions:       cur.Acquisitions - last.Acquisitions,
-				WaitCycles:         cur.WaitCycles - last.WaitCycles,
-				RemoteAcquisitions: cur.RemoteAcquisitions - last.RemoteAcquisitions,
-			},
-		}
-		c.Observe(s)
+type Sampler struct {
+	c     *Controller
+	home  *sim.Resource
+	probe func() Counters
+
+	lastBusy sim.Duration
+	lastTime sim.Time
+	last     Counters
+}
+
+// NewSampler builds a sampler for controller c over the lock's home-module
+// resource; it snapshots the counters now, so the first window starts at
+// construction time.
+func NewSampler(home *sim.Resource, probe func() Counters, c *Controller) *Sampler {
+	return &Sampler{c: c, home: home, probe: probe, lastBusy: home.Busy, last: probe()}
+}
+
+// Controller exposes the controller the sampler feeds.
+func (s *Sampler) Controller() *Controller { return s.c }
+
+// Name implements autonomic.Policy.
+func (s *Sampler) Name() string { return "tune" }
+
+// Tick implements autonomic.Policy: one observation window.
+func (s *Sampler) Tick(now sim.Time) {
+	busy := s.home.Busy
+	cur := s.probe()
+	defer func() {
+		s.lastBusy, s.lastTime = busy, now
+		s.last = cur
+	}()
+	if busy < s.lastBusy || now <= s.lastTime {
+		// A ResetStats landed inside this window; skip it.
+		return
+	}
+	s.c.Observe(Sample{
+		Now:      now,
+		HomeUtil: float64(busy-s.lastBusy) / float64(now-s.lastTime),
+		Lock: Counters{
+			Attempts:           cur.Attempts - s.last.Attempts,
+			Failures:           cur.Failures - s.last.Failures,
+			Acquisitions:       cur.Acquisitions - s.last.Acquisitions,
+			WaitCycles:         cur.WaitCycles - s.last.WaitCycles,
+			RemoteAcquisitions: cur.RemoteAcquisitions - s.last.RemoteAcquisitions,
+		},
 	})
+}
+
+// Attach wires a Controller to a machine. With Params.Plane set the
+// sampler registers on the shared autonomics plane (one daemon cadence
+// ticks every policy in phase order); otherwise it self-schedules a
+// private daemon event every Period — the historical shape, byte-identical
+// to the plane at the same period because daemon events at one timestamp
+// fire in registration order either way.
+func Attach(eng *sim.Engine, home *sim.Resource, probe func() Counters, c *Controller) {
+	s := NewSampler(home, probe, c)
+	if pl := c.p.Plane; pl != nil {
+		pl.Add(s)
+		return
+	}
+	eng.Every(c.p.Period, s.Tick)
 }

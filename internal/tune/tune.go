@@ -45,6 +45,7 @@ import (
 	"fmt"
 	"strings"
 
+	"hurricane/internal/autonomic"
 	"hurricane/internal/sim"
 )
 
@@ -123,6 +124,12 @@ type Params struct {
 	// latency-bounded deployment clamps MaxCap far below any wait that
 	// should force the cohort shape.
 	CohortWait sim.Duration
+	// StartMode is the lock shape the controller begins in (default
+	// ModeSpin — the optimistic stance). A deployment that knows its locks
+	// open contended — a saturated server, say — warm-starts at ModeQueue
+	// and skips the first escalation ramp; the controller still walks the
+	// mode chain both ways from wherever it starts.
+	StartMode Mode
 	// DwellWindows is the minimum number of observation windows between
 	// mode switches (default 4 — the EWMA horizon). A switch resets the
 	// smoothed signals, and the dwell holds the new mode until the fresh
@@ -132,6 +139,12 @@ type Params struct {
 	// LogLimit bounds the retained decision log (default 256; 0 takes the
 	// default, negative disables logging).
 	LogLimit int
+	// Plane, when non-nil, registers the controller's sampler on the shared
+	// autonomics plane instead of a private Engine.Every daemon: the plane's
+	// single cadence then ticks it alongside the placement and replication
+	// policies, so each phase observes the others' actions. The plane's
+	// period rules; Period is ignored for a plane-scheduled sampler.
+	Plane *autonomic.Plane
 }
 
 func (p Params) withDefaults() Params {
@@ -250,52 +263,61 @@ type Controller struct {
 	mode Mode
 	cap  sim.Duration
 	head sim.Duration
-	// waitNum and waitDen are exponentially decayed sums of windowed wait
-	// cycles and completed acquisitions; waitUS is their ratio. Under an
-	// unfair spin lock the per-window mean is bimodal — windows where only
-	// lucky near-release winners complete read a few microseconds while the
-	// true long-waiters are still pending — so a single window is a biased
-	// estimator. Decaying both sums weights each completion by its actual
-	// wait, smooths the alternation, and leaves the ratio untouched across
-	// windows in which nothing completes.
-	waitNum, waitDen float64
-	waitUS           float64
-	// ringNum and ringDen decay remote and total acquisitions over the same
-	// horizon; ringFrac is their ratio — the measured share of acquisitions
-	// arriving from off-home stations, the queue→cohort escalation signal.
-	ringNum, ringDen float64
-	ringFrac         float64
-	// attEWMA decays windowed lock attempts over the same horizon. Its job
-	// is to tell "idle" apart from "wedged": a queue forming behind a
-	// convoy shows polling attempts with no completed acquisitions, while
-	// a genuinely idle lock shows neither — only the latter may walk the
+	// wait is the decayed ratio of windowed wait cycles to completed
+	// acquisitions. Under an unfair spin lock the per-window mean is
+	// bimodal — windows where only lucky near-release winners complete
+	// read a few microseconds while the true long-waiters are still
+	// pending — so a single window is a biased estimator. Decaying both
+	// sums weights each completion by its actual wait, smooths the
+	// alternation, and the floor leaves the ratio untouched (frozen)
+	// across windows in which nothing completes.
+	wait autonomic.DecayedRatio
+	// ring decays remote over total acquisitions on the same horizon — the
+	// measured share of acquisitions arriving from off-home stations, the
+	// queue→cohort escalation signal.
+	ring autonomic.DecayedRatio
+	// att decays windowed lock attempts over the same horizon. Its job is
+	// to tell "idle" apart from "wedged": a queue forming behind a convoy
+	// shows polling attempts with no completed acquisitions, while a
+	// genuinely idle lock shows neither — only the latter may walk the
 	// mode chain back down.
-	attEWMA float64
-	// utilEWMA smooths home-module utilization over the same horizon.
-	// Windowed spin-lock utilization is bimodal too: each completed
-	// acquisition restarts the winner's backoff at 1us, so windows catching
-	// a restart burst read near saturation while their neighbors read the
-	// long-cap baseline. Decisions are taken on the smoothed value, so only
+	att autonomic.DecayedSum
+	// util smooths home-module utilization over the same horizon. Windowed
+	// spin-lock utilization is bimodal too: each completed acquisition
+	// restarts the winner's backoff at 1us, so windows catching a restart
+	// burst read near saturation while their neighbors read the long-cap
+	// baseline. Decisions are taken on the smoothed value, so only
 	// sustained saturation — not a one-window burst — can force the cap up
 	// or cross the lock over to queue mode.
-	utilEWMA float64
-	// dwellLeft counts observation windows remaining before another mode
+	util autonomic.EWMA
+	// band is the [SatLow, SatHigh] utilization hysteresis band the mode
+	// chain walks on.
+	band autonomic.Band
+	// dwell counts observation windows remaining before another mode
 	// switch is permitted. A switch resets the decayed signals (they were
 	// measured under the old mode and say nothing about the new one), so
 	// the dwell also covers the windows the fresh EWMA needs to mean
 	// anything.
-	dwellLeft int
+	dwell autonomic.Dwell
 	// switches counts mode transitions; samples counts observations.
 	switches, samples uint64
 	log               []Decision
 }
 
-// NewController builds a controller starting in spin mode at MinCap — the
-// optimistic stance: assume no contention until the measurements say
-// otherwise.
+// NewController builds a controller starting in Params.StartMode (spin by
+// default) at MinCap — the optimistic stance: assume no contention until
+// the measurements say otherwise.
 func NewController(p Params) *Controller {
 	p = p.withDefaults()
-	return &Controller{p: p, mode: ModeSpin, cap: p.MinCap, head: p.MinHead}
+	return &Controller{
+		p: p, mode: p.StartMode, cap: p.MinCap, head: p.MinHead,
+		wait:  autonomic.DecayedRatio{Decay: waitDecay, Floor: waitDenFloor},
+		ring:  autonomic.DecayedRatio{Decay: waitDecay, Floor: waitDenFloor},
+		att:   autonomic.DecayedSum{Decay: waitDecay},
+		util:  autonomic.EWMA{Decay: waitDecay},
+		band:  autonomic.Band{Low: p.SatLow, High: p.SatHigh},
+		dwell: autonomic.Dwell{Windows: p.DwellWindows},
+	}
 }
 
 // Params returns the defaulted parameters.
@@ -314,7 +336,7 @@ func (c *Controller) HeadBackoff() sim.Duration { return c.head }
 func (c *Controller) Switches() uint64 { return c.switches }
 
 // RingFrac reports the smoothed cross-station acquisition fraction.
-func (c *Controller) RingFrac() float64 { return c.ringFrac }
+func (c *Controller) RingFrac() float64 { return c.ring.Value() }
 
 // Samples reports how many observation windows have been consumed.
 func (c *Controller) Samples() uint64 { return c.samples }
@@ -396,53 +418,43 @@ func (p Params) nextHead(prev sim.Duration, util float64) sim.Duration {
 func (c *Controller) Observe(s Sample) {
 	c.samples++
 	prevMode := c.mode
-	c.waitNum = waitDecay*c.waitNum + float64(s.Lock.WaitCycles)
-	c.waitDen = waitDecay*c.waitDen + float64(s.Lock.Acquisitions)
-	if c.waitDen >= waitDenFloor {
-		c.waitUS = c.waitNum / c.waitDen / sim.CyclesPerMicrosecond
-	}
-	c.ringNum = waitDecay*c.ringNum + float64(s.Lock.RemoteAcquisitions)
-	c.ringDen = waitDecay*c.ringDen + float64(s.Lock.Acquisitions)
-	if c.ringDen >= waitDenFloor {
-		c.ringFrac = c.ringNum / c.ringDen
-	}
-	c.attEWMA = waitDecay*c.attEWMA + float64(s.Lock.Attempts)
-	c.utilEWMA = waitDecay*c.utilEWMA + (1-waitDecay)*s.HomeUtil
-	util := c.utilEWMA
+	c.wait.Observe(float64(s.Lock.WaitCycles), float64(s.Lock.Acquisitions))
+	waitUS := c.wait.Value() / sim.CyclesPerMicrosecond
+	ringFrac := c.ring.Observe(float64(s.Lock.RemoteAcquisitions), float64(s.Lock.Acquisitions))
+	c.att.Add(float64(s.Lock.Attempts))
+	util := c.util.Observe(s.HomeUtil)
 	atMax := c.cap == c.p.MaxCap
-	c.cap = c.p.NextCap(c.cap, util, c.waitUS)
+	c.cap = c.p.NextCap(c.cap, util, waitUS)
 	c.head = c.p.nextHead(c.head, util)
-	if c.dwellLeft > 0 {
-		c.dwellLeft--
-	} else {
+	if c.dwell.Ready() {
 		// ringBound: most acquisitions arrive over the ring AND the mean
 		// wait is past the CohortWait threshold. Home-module utilization
 		// cannot see this regime — on a large machine the ring serializes
 		// hand-offs while the home module idles — so without this signal
 		// the controller reads the idle module as "contention gone" and
 		// thrashes queue<->spin forever.
-		ringBound := c.p.Stations > 1 && c.ringFrac >= c.p.RingFrac &&
-			c.waitUS >= c.p.CohortWait.Microseconds()
+		ringBound := c.p.Stations > 1 && ringFrac >= c.p.RingFrac &&
+			waitUS >= c.p.CohortWait.Microseconds()
 		// wedged: attempts keep arriving but nothing completes — a queue
 		// still forming behind a convoy, not an idle lock. A low home-module
 		// reading in this state means the ring (or the queue hand-off
 		// chain), not the workload, is the bottleneck; retreating to spin on
 		// it would re-create the convoy that wedged the lock.
-		wedged := c.attEWMA >= 1 && c.ringDen < waitDenFloor
+		wedged := c.att.S >= 1 && c.ring.Mass() < waitDenFloor
 		switch c.mode {
 		case ModeSpin:
-			if util >= c.p.SatHigh && atMax {
+			if c.band.Above(util) && atMax {
 				c.mode = ModeQueue
 			}
 		case ModeQueue:
 			switch {
 			case ringBound,
-				util >= c.p.SatHigh && c.p.Stations > 1 && c.ringFrac >= c.p.RingFrac:
+				c.band.Above(util) && c.p.Stations > 1 && ringFrac >= c.p.RingFrac:
 				// Saturated with local-only spinning AND most acquisitions
 				// arrive over the ring: hand-off traffic itself is the load,
 				// which is what station-batched cohort grants relieve.
 				c.mode = ModeCohort
-			case util <= c.p.SatLow && !wedged && c.waitUS <= c.cap.Microseconds():
+			case c.band.Below(util) && !wedged && waitUS <= c.cap.Microseconds():
 				// Retreat to spin only when the waits actually being served
 				// fit under the backoff cap the spin stance would resume
 				// with; a wait the cap cannot absorb means the low module
@@ -455,8 +467,8 @@ func (c *Controller) Observe(s Sample) {
 			// construction. Retreat on the wait signal instead, with a
 			// half-threshold hysteresis band under the CohortWait that
 			// forced the escalation.
-			if util <= c.p.SatLow && !wedged &&
-				c.waitUS < c.p.CohortWait.Microseconds()/2 {
+			if c.band.Below(util) && !wedged &&
+				waitUS < c.p.CohortWait.Microseconds()/2 {
 				c.mode = ModeQueue
 			}
 		}
@@ -466,18 +478,18 @@ func (c *Controller) Observe(s Sample) {
 		// Start the new mode from clean windows: drop the old-mode wait
 		// mass (the estimate freezes until fresh acquisitions arrive) and
 		// restart the utilization EWMA from the neutral mid-band.
-		c.waitNum, c.waitDen = 0, 0
-		c.ringNum, c.ringDen, c.ringFrac = 0, 0, 0
-		// attEWMA is deliberately NOT reset: it only ever blocks a retreat,
+		c.wait.Reset()
+		c.ring.Clear()
+		// att is deliberately NOT reset: it only ever blocks a retreat,
 		// and the attempts backlog it carries across a switch is exactly the
 		// evidence that waiters from the old mode are still in flight.
-		c.utilEWMA = (c.p.SatLow + c.p.SatHigh) / 2
-		c.dwellLeft = c.p.DwellWindows
+		c.util.Set(c.band.Mid())
+		c.dwell.Arm()
 	}
 	if c.p.LogLimit > 0 && len(c.log) < c.p.LogLimit {
 		c.log = append(c.log, Decision{
-			At: s.Now, HomeUtil: s.HomeUtil, UtilEWMA: util, WaitUS: c.waitUS,
-			FailFrac: s.failFrac(), RingFrac: c.ringFrac,
+			At: s.Now, HomeUtil: s.HomeUtil, UtilEWMA: util, WaitUS: waitUS,
+			FailFrac: s.failFrac(), RingFrac: c.ring.Value(),
 			Cap: c.cap, Head: c.head, Mode: c.mode,
 		})
 	}

@@ -8,6 +8,7 @@ import (
 	"hurricane/internal/locks"
 	"hurricane/internal/sim"
 	"hurricane/internal/stats"
+	"hurricane/internal/tune"
 )
 
 // ServerConfig parameterizes the open-loop multi-tenant server scenario:
@@ -69,8 +70,35 @@ type ServerConfig struct {
 	// permuting labels permutes per-tenant stats without changing the
 	// latency distribution (the metamorphic property the tests pin).
 	TenantIDs []int
-	// Attach, when non-nil, runs after the system exists but before any
-	// processor starts — the hook that installs a placement daemon.
+	// TenantDataWords, when nonzero, gives every tenant a per-tenant data
+	// region of that many words, homed on the tenant's cluster and
+	// registered as a migratable kernel slot (kernel.RegisterSlot) — the
+	// handle the autonomics plane acts on. Each request then touches
+	// TenantTouch words of its tenant's region, reading or writing per
+	// TenantWriteFrac. Zero keeps the historical workload (and its RNG
+	// stream) byte for byte.
+	TenantDataWords int
+	// TenantTouch is how many tenant-data words each request touches
+	// (default 32, only with TenantDataWords set).
+	TenantTouch int
+	// TenantWriteFrac gives each tenant rank's probability that a request
+	// writes its touched words instead of reading them (nil = all reads).
+	// Read-mostly tenants are replication's case; write-hot ones are
+	// migration's.
+	TenantWriteFrac func(rank int) float64
+	// TenantAffinity, when non-nil, pins each tenant rank's requests to
+	// one cluster's workers (-1 = any worker) — the sharded-worker
+	// discipline real servers run. An affinized tenant whose data is homed
+	// off its cluster is exactly the misplacement an online placement
+	// daemon exists to fix. Nil keeps the single shared dispatch queue
+	// (and the historical event stream) byte for byte.
+	TenantAffinity func(rank int) int
+	// TuneParams parameterizes feedback-tuned kernel locks when LockKind
+	// is KindTuned (see core.Config).
+	TuneParams *tune.Params
+	// Attach, when non-nil, runs after the system exists (tenant data
+	// regions included) but before any processor starts — the hook that
+	// installs a placement daemon or autonomics plane.
 	Attach func(sys *core.System)
 }
 
@@ -138,6 +166,7 @@ type serverRequest struct {
 	rank  int
 	vpn   uint64
 	churn bool
+	write bool // touch tenant data with stores (only with TenantDataWords)
 }
 
 // ServerRun executes the scenario and reports the tail-latency summary.
@@ -154,19 +183,38 @@ func ServerRun(cfg ServerConfig) *ServerResult {
 	if cfg.QueueLimit == 0 {
 		cfg.QueueLimit = 4 * cfg.Workers
 	}
+	if cfg.TenantDataWords > 0 && cfg.TenantTouch == 0 {
+		cfg.TenantTouch = 32
+	}
 	sys := core.NewSystem(core.Config{
 		Machine:     cfg.Machine,
 		ClusterSize: cfg.ClusterSize,
 		LockKind:    cfg.LockKind,
 		Protocol:    cfg.Protocol,
 		Migratable:  cfg.Migratable,
+		TuneParams:  cfg.TuneParams,
 		Tracer:      cfg.Tracer,
 	})
+	k := sys.K
+	m := sys.M
+
+	// Per-tenant data regions: migratable slots the autonomics plane can
+	// act on, homed like the tenant's kernel objects so the initial layout
+	// matches the static placement. Created before Attach runs, so an
+	// attached daemon's slot list includes them.
+	var tenantBase []sim.Addr
+	if cfg.TenantDataWords > 0 {
+		tenantBase = make([]sim.Addr, cfg.Tenants)
+		for rank := 0; rank < cfg.Tenants; rank++ {
+			c := rank % k.Topo.N
+			region := m.Mem.NewRegion(k.Topo.SlotModule(c, rank%4))
+			tenantBase[rank] = m.Mem.Alloc(region, cfg.TenantDataWords)
+			k.RegisterSlot(c, fmt.Sprintf("tenant%d", rank), region)
+		}
+	}
 	if cfg.Attach != nil {
 		cfg.Attach(sys)
 	}
-	k := sys.K
-	m := sys.M
 
 	// Materialize the offered load: arrival times from the spec, tenant
 	// rank and page from an independent per-request stream.
@@ -180,6 +228,15 @@ func ServerRun(cfg ServerConfig) *ServerResult {
 			rank:  zipf.Sample(rr),
 			vpn:   uint64(rr.Intn(cfg.PagesPerTenant)),
 			churn: cfg.ChurnEvery > 0 && i%cfg.ChurnEvery == cfg.ChurnEvery-1,
+		}
+		if cfg.TenantDataWords > 0 {
+			// The write draw happens only when tenant data exists, so the
+			// historical configurations' RNG stream is untouched.
+			wf := 0.0
+			if cfg.TenantWriteFrac != nil {
+				wf = cfg.TenantWriteFrac(reqs[i].rank)
+			}
+			reqs[i].write = rr.Float64() < wf
 		}
 	}
 
@@ -204,27 +261,52 @@ func ServerRun(cfg ServerConfig) *ServerResult {
 		return kernel.PIDKey(k.Topo.ClusterOf(id), uint64(1000+id))
 	}
 
-	// Dispatch queue: a zero-cost kernel scheduler model. Arrivals enqueue
+	// Dispatch queues: a zero-cost kernel scheduler model. Arrivals enqueue
 	// (or drop past QueueLimit); idle workers park and are woken one per
-	// arrival.
+	// arrival. Affinized tenants (TenantAffinity) queue per cluster and
+	// only that cluster's workers serve them; everyone else shares one
+	// queue any worker drains. With no affinity the cluster queues stay
+	// empty and the dispatch is the historical single queue exactly.
+	affOf := func(rank int) int {
+		if cfg.TenantAffinity == nil {
+			return -1
+		}
+		return cfg.TenantAffinity(rank)
+	}
 	var (
-		queue      []int // indices into reqs
+		queue      []int // indices into reqs, unaffinized
 		qhead      int
+		clusterQ   = make([][]int, k.Topo.N)
+		cHead      = make([]int, k.Topo.N)
 		idle       []*sim.Proc
 		done       bool
 		setupReady bool
 	)
 	measured := func(i int) bool { return reqs[i].at >= sim.Time(cfg.Warmup) }
-	wakeOne := func() {
-		if len(idle) > 0 {
-			p := idle[len(idle)-1]
-			idle = idle[:len(idle)-1]
+	queued := func() int {
+		n := len(queue) - qhead
+		for c := range clusterQ {
+			n += len(clusterQ[c]) - cHead[c]
+		}
+		return n
+	}
+	// wake releases one parked worker able to serve cluster c's queue
+	// (c < 0: any worker). The scan runs newest-parked first, matching the
+	// historical LIFO pop.
+	wake := func(c int) {
+		for j := len(idle) - 1; j >= 0; j-- {
+			p := idle[j]
+			if c >= 0 && k.Topo.ClusterOf(p.ID()) != c {
+				continue
+			}
+			idle = append(idle[:j], idle[j+1:]...)
 			p.Unpark()
+			return
 		}
 	}
 	arrive := func(i int) {
 		rank := reqs[i].rank
-		if len(queue)-qhead >= cfg.QueueLimit {
+		if queued() >= cfg.QueueLimit {
 			if measured(i) {
 				res.Offered++
 				res.Dropped++
@@ -237,8 +319,13 @@ func ServerRun(cfg ServerConfig) *ServerResult {
 			res.Admitted++
 			res.Tenants[rank].Admitted++
 		}
-		queue = append(queue, i)
-		wakeOne()
+		if c := affOf(rank); c >= 0 {
+			clusterQ[c] = append(clusterQ[c], i)
+			wake(c)
+		} else {
+			queue = append(queue, i)
+			wake(-1)
+		}
 	}
 	// Chain the arrival events so the pending-event heap stays small; the
 	// last arrival closes the shop and wakes everyone for the drain.
@@ -280,6 +367,22 @@ func ServerRun(cfg ServerConfig) *ServerResult {
 		region := tenantRegion(req.rank)
 		if _, err := k.VM.Fault(p, pid, region, req.vpn, true); err != nil {
 			panic(err)
+		}
+		if cfg.TenantDataWords > 0 {
+			// Serve the request against the tenant's data region: a stride
+			// through TenantTouch words starting at a page-dependent offset.
+			// Reads follow the region's nearest copy when it is replicated;
+			// writes charge an update per replica — the traffic the
+			// replication policy prices.
+			base := tenantBase[req.rank]
+			for j := 0; j < cfg.TenantTouch; j++ {
+				a := base + sim.Addr((int(req.vpn)*cfg.TenantTouch+j)%cfg.TenantDataWords)
+				if req.write {
+					p.Store(a, uint64(i))
+				} else {
+					p.Load(a)
+				}
+			}
 		}
 		k.VM.Unmap(p, pid, region, req.vpn)
 		if req.churn {
@@ -337,7 +440,17 @@ func ServerRun(cfg ServerConfig) *ServerResult {
 			if !setupReady {
 				panic("server: worker released before tenant setup")
 			}
+			myc := k.Topo.ClusterOf(p.ID())
 			for {
+				// The worker's own cluster queue first — affinized requests
+				// have fewer eligible servers, so they get priority — then
+				// the shared queue.
+				if cHead[myc] < len(clusterQ[myc]) {
+					i := clusterQ[myc][cHead[myc]]
+					cHead[myc]++
+					handle(p, i)
+					continue
+				}
 				if qhead < len(queue) {
 					i := queue[qhead]
 					qhead++
