@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-wall results bench-diff bench-baseline jobs-equiv par-equiv trace-smoke server-smoke autonomic-smoke profile
+.PHONY: ci vet build test race bench bench-wall results bench-diff bench-baseline jobs-equiv par-equiv trace-smoke server-smoke autonomic-smoke model-smoke doc-lint profile
 
-ci: vet build test race bench-diff jobs-equiv par-equiv trace-smoke server-smoke autonomic-smoke
+ci: vet build test race bench-diff jobs-equiv par-equiv trace-smoke server-smoke autonomic-smoke model-smoke doc-lint
 
 vet:
 	$(GO) vet ./...
@@ -112,6 +112,27 @@ autonomic-smoke:
 	$(GO) run ./cmd/lockstat -run server -autonomic -ms 6 > /tmp/hurricane_autolock.txt
 	grep -q "autonomics plane" /tmp/hurricane_autolock.txt
 	@echo "autonomic-smoke: combined plane beats every single policy; both CLIs run it"
+
+# End-to-end check of the analytic model pipeline: a CI-scale
+# calibrate-and-validate cell must fit residuals, rank the lock zoo
+# correctly at every validation point on all three machines, and publish
+# the head-to-head tuner metrics. (The quick head-to-head is too short
+# for the model tuner's confirmation gates to act — its elapsed ratio is
+# informational here; EXPERIMENTS.md quotes the full-scale run.)
+model-smoke:
+	$(GO) run ./cmd/hurricane-bench -quick -run '^model$$' -json /tmp/hurricane_model.json > /dev/null
+	grep -A 1 '"hector16.rank_agreement"' /tmp/hurricane_model.json | grep -q '"value": 100'
+	grep -A 1 '"numachine64.rank_agreement"' /tmp/hurricane_model.json | grep -q '"value": 100'
+	grep -A 1 '"numachine256.rank_agreement"' /tmp/hurricane_model.json | grep -q '"value": 100'
+	grep -q '"hector16.model_regret_us"' /tmp/hurricane_model.json
+	grep -q '"numachine64.model_vs_reactive_elapsed"' /tmp/hurricane_model.json
+	@echo "model-smoke: calibrated model ranks the lock zoo correctly on all machines"
+
+# Documentation gate: every exported identifier in the model, autonomic,
+# and tune packages carries a doc comment, and every intra-repo markdown
+# link (file and #anchor) in the top-level docs resolves.
+doc-lint:
+	$(GO) run ./cmd/doclint
 
 # Refresh the checked-in baseline after an intentional performance change
 # (commit the result and explain the shift in the PR).

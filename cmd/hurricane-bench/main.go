@@ -112,6 +112,7 @@ func main() {
 		{"lockfree", func() *exp.Table { return exp.LockFree(*seed, rounds(40, 15)) }},
 		{"scaling", func() *exp.Table { return exp.Scaling(*seed, rounds(10, 4)) }},
 		{"tuned", func() *exp.Table { return exp.TunedCrossover(*seed, rounds(40, 10)) }},
+		{"model", func() *exp.Table { return exp.ModelSweep(*seed, rounds(40, 10)) }},
 		{"cohort", func() *exp.Table { return exp.CohortSweep(*seed, rounds(40, 10)) }},
 		{"server", func() *exp.Table { return exp.ServerSweep(*seed, rounds(60, 20)) }},
 		{"autonomic", func() *exp.Table { return exp.AutonomicSweep(*seed, rounds(40, 15)) }},

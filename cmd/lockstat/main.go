@@ -34,6 +34,16 @@
 // combined plane exists for.
 //
 //	lockstat -run server -autonomic -ms 20
+//
+// With -model (implies -tune), the controller runs in model-driven mode:
+// instead of walking the backoff cap and escalating through the mode
+// chain reactively, it asks the analytic performance model
+// (internal/model) for the predicted-best shape and cap and jumps
+// straight there. Combined with -autonomic, the model also prices the
+// replication and migration rent-vs-buy decisions through the same hook.
+//
+//	lockstat -model -procs 16 -hold 25           # model-driven controller
+//	lockstat -run server -autonomic -model       # model prices the whole plane
 package main
 
 import (
@@ -45,6 +55,7 @@ import (
 	"hurricane/internal/core"
 	"hurricane/internal/locks"
 	"hurricane/internal/machine"
+	"hurricane/internal/model"
 	"hurricane/internal/sim"
 	"hurricane/internal/trace"
 	"hurricane/internal/trace/placement"
@@ -92,6 +103,7 @@ func main() {
 	home := flag.Int("home", 0, "home module of the lock and its protected data")
 	migrate := flag.Bool("migrate", false, "protected data in a migratable region managed by the online placement daemon")
 	auto := flag.Bool("autonomic", false, "full autonomics plane: tuned lock + migration + replication under one cadence")
+	useModel := flag.Bool("model", false, "model-driven tuner mode (implies -tune); with -autonomic the model also prices placement decisions")
 	run := flag.String("run", "stress", "stress | server (open-loop multi-tenant server, tail-latency summary)")
 	horizonMS := flag.Int("ms", 20, "server mode: arrival horizon in simulated milliseconds")
 	flag.Parse()
@@ -99,6 +111,9 @@ func main() {
 	if *auto {
 		*tuned = true
 		*migrate = true
+	}
+	if *useModel {
+		*tuned = true
 	}
 	if *tuned {
 		*lock = "tuned"
@@ -123,7 +138,7 @@ func main() {
 
 	switch *run {
 	case "server":
-		runServer(*machineName, mc, kind, *seed, *horizonMS, *migrate, *auto)
+		runServer(*machineName, mc, kind, *seed, *horizonMS, *migrate, *auto, *useModel)
 		return
 	case "stress":
 	default:
@@ -173,9 +188,20 @@ func main() {
 	if *auto {
 		plane = autonomic.NewPlane(placement.DefaultDaemonParams().Period)
 	}
+	// Model-driven mode: one advisor (and one pricing hook) built from the
+	// same machine config the run uses. The calibration is unfitted here —
+	// lockstat is a one-shot microscope; exp.ModelSweep runs the fitted
+	// path — so the pricing bar matches Worthwhile and only the controller
+	// behaviour changes.
+	var adv *model.Advisor
+	var worth func(benefit float64, horizon int, cost float64) bool
+	if *useModel {
+		adv = model.NewAdvisor(model.FromConfig(cfg.Machine), model.Calibration{})
+		worth = model.Calibration{}.Worth()
+	}
 	if kind == locks.KindTuned {
 		cfg.MakeLock = func(m *sim.Machine, home int) locks.Lock {
-			tl = locks.NewTuned(m, home, tune.Params{Plane: plane})
+			tl = locks.NewTuned(m, home, tune.Params{Plane: plane, Model: adv})
 			return tl
 		}
 	}
@@ -189,11 +215,12 @@ func main() {
 			// in-flight accesses by the module/ring resource queues.
 			params := placement.DefaultDaemonParams()
 			params.Exec = func(int) int { return 0 }
+			params.Worth = worth
 			region := r.DataRegion
 			if plane != nil {
 				rep = autonomic.NewReplicator(r.M, autonomic.Topo(mc.topo),
 					autonomic.CostsFromLatency(r.M.Lat()),
-					autonomic.ReplicatorParams{Exec: func(int) int { return 0 }},
+					autonomic.ReplicatorParams{Exec: func(int) int { return 0 }, Worth: worth},
 					[]autonomic.ReplicaSlot{{
 						Name:   "lock data",
 						Region: region,
@@ -301,7 +328,7 @@ func main() {
 // the tenants get migratable data regions (three of four read-mostly, one
 // of four write-hot and sharded off its data's home cluster) and the full
 // plane — tuned locks, migration, replication — manages the run.
-func runServer(name string, mc machineSpec, kind locks.Kind, seed uint64, horizonMS int, migrate, auto bool) {
+func runServer(name string, mc machineSpec, kind locks.Kind, seed uint64, horizonMS int, migrate, auto, useModel bool) {
 	cfg := workload.ServerConfig{
 		Machine:     mc.cfg(seed),
 		ClusterSize: mc.clusterSize,
@@ -323,6 +350,12 @@ func runServer(name string, mc machineSpec, kind locks.Kind, seed uint64, horizo
 	var daemon *placement.Daemon
 	var rep *autonomic.Replicator
 	var plane *autonomic.Plane
+	var adv *model.Advisor
+	var worth func(benefit float64, horizon int, cost float64) bool
+	if useModel {
+		adv = model.NewAdvisor(model.FromConfig(cfg.Machine), model.Calibration{})
+		worth = model.Calibration{}.Worth()
+	}
 	if auto {
 		// The AutonomicSweep workload shape: per-tenant migratable data,
 		// three of four tenants read-mostly (replication's case), every
@@ -342,7 +375,9 @@ func runServer(name string, mc machineSpec, kind locks.Kind, seed uint64, horizo
 			return -1
 		}
 		plane = autonomic.NewPlane(sim.Micros(100))
-		cfg.TuneParams = &tune.Params{Plane: plane}
+	}
+	if auto || useModel {
+		cfg.TuneParams = &tune.Params{Plane: plane, Model: adv}
 	}
 	if migrate {
 		cfg.Migratable = true
@@ -350,10 +385,11 @@ func runServer(name string, mc machineSpec, kind locks.Kind, seed uint64, horizo
 		cfg.Tracer = agg
 		cfg.Attach = func(sys *core.System) {
 			dp := placement.DefaultDaemonParams()
+			dp.Worth = worth
 			if plane != nil {
 				rep = autonomic.NewReplicator(sys.M, autonomic.Topo(mc.topo),
 					autonomic.CostsFromLatency(sys.M.Lat()),
-					autonomic.ReplicatorParams{Decay: 0.95, MinWeight: 4, Confirm: 3, Payback: 48},
+					autonomic.ReplicatorParams{Decay: 0.95, MinWeight: 4, Confirm: 3, Payback: 48, Worth: worth},
 					placement.ReplicateKernel(sys.K, agg))
 				plane.Add(rep)
 				dp.Yield = rep.Claimed

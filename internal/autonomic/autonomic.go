@@ -41,8 +41,10 @@ import "hurricane/internal/sim"
 // — a window's contribution is weighted by its own magnitude, which is
 // what makes a ratio of two DecayedSums an unbiased per-event mean.
 type DecayedSum struct {
+	// Decay is the per-window retention factor in [0,1).
 	Decay float64
-	S     float64
+	// S is the current decayed mass.
+	S float64
 }
 
 // Add folds one window's mass into the sum.
@@ -57,7 +59,9 @@ func (d *DecayedSum) Reset() { d.S = 0 }
 // value rather than being recomputed from noise (a window in which nothing
 // completes says nothing about the per-completion mean).
 type DecayedRatio struct {
+	// Decay is the per-window retention factor for both sums.
 	Decay float64
+	// Floor is the minimum denominator mass below which the ratio freezes.
 	Floor float64
 	num   DecayedSum
 	den   DecayedSum
@@ -97,8 +101,10 @@ func (r *DecayedRatio) Clear() { r.Reset(); r.ratio = 0 }
 // level signals (utilization, per-window access counts) where each window
 // should carry equal weight regardless of magnitude.
 type EWMA struct {
+	// Decay is the smoothing factor: weight kept by the old value.
 	Decay float64
-	V     float64
+	// V is the current smoothed level.
+	V float64
 }
 
 // Observe folds one window's level and returns the smoothed value.
@@ -113,6 +119,7 @@ func (e *EWMA) Set(v float64) { e.V = v }
 // Band is a [Low, High] hysteresis band: escalate at or above High,
 // retreat at or below Low, and do nothing in between.
 type Band struct {
+	// Low and High are the retreat and escalation thresholds.
 	Low, High float64
 }
 
@@ -130,6 +137,7 @@ func (b Band) Mid() float64 { return (b.Low + b.High) / 2 }
 // switches: after Arm, Ready returns false (consuming one window per call)
 // until Windows windows have passed.
 type Dwell struct {
+	// Windows is the number of observation windows a fresh dwell holds.
 	Windows int
 	left    int
 }
@@ -151,6 +159,7 @@ func (d *Dwell) Arm() { d.left = d.Windows }
 // row. A burst shorter than the streak can nominate a candidate but never
 // confirm it.
 type Streak struct {
+	// Confirm is how many consecutive wins confirm a candidate.
 	Confirm int
 	cand    int
 	n       int
@@ -178,7 +187,9 @@ func (s *Streak) Candidate() int { return s.cand }
 // Gate is the per-target action limiter: a hard budget over the whole run
 // plus a cooldown between consecutive actions on the same target.
 type Gate struct {
-	Budget   int
+	// Budget is the hard action limit over the whole run.
+	Budget int
+	// Cooldown is the minimum gap between actions on this target.
 	Cooldown sim.Duration
 	used     int
 	last     sim.Time
@@ -213,6 +224,7 @@ func Worthwhile(benefit float64, horizon int, cost float64) bool {
 // match the running or traced machine; cmd/traceanal reads it from trace
 // metadata).
 type Topo struct {
+	// Stations and ProcsPerStation mirror sim.Config's topology knobs.
 	Stations, ProcsPerStation int
 }
 
@@ -234,6 +246,7 @@ func (t Topo) Dist(src, dst int) sim.DistClass {
 // Costs weighs one access at each distance class, in cycles. Use the
 // running machine's uncontended latencies (CostsFromLatency).
 type Costs struct {
+	// Local, Station, and Ring weigh one access at each distance class.
 	Local, Station, Ring float64
 }
 

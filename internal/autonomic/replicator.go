@@ -69,6 +69,13 @@ type ReplicatorParams struct {
 	// Exec picks the processor that executes an action, given the slot's
 	// primary home (default: the co-located processor).
 	Exec func(home int) int
+	// Worth, when non-nil, replaces the Worthwhile payback heuristic for
+	// the replicate decision (same signature and meaning). The analytic
+	// model supplies one via model.Calibration.Worth — the same bar with
+	// the model's fitted uncertainty as margin — so the replicator can
+	// price copies from calibrated estimates instead of the bare
+	// heuristic. Nil keeps Worthwhile; every default is unchanged.
+	Worth func(benefit float64, horizon int, cost float64) bool
 }
 
 func (p ReplicatorParams) withDefaults(stations int) ReplicatorParams {
@@ -110,12 +117,14 @@ func (p ReplicatorParams) withDefaults(stations int) ReplicatorParams {
 
 // ReplicaAction records one executed (requested) actuation.
 type ReplicaAction struct {
+	// Slot names the replicated kernel data slot.
 	Slot string
 	// Kind is "replicate" or "collapse".
 	Kind string
 	// Module is the replica's module for a replicate, -1 for a collapse.
 	Module int
-	At     sim.Time
+	// At is the simulated time the action was requested.
+	At sim.Time
 }
 
 // collapseCand is the Streak candidate code for a collapse (replicate
@@ -305,7 +314,11 @@ func (r *Replicator) Tick(now sim.Time) {
 				continue
 			}
 			copyCost := float64(r.m.Mem.RegionWords(s.Region)) * r.costs.Ring
-			if !Worthwhile(benefit, r.p.Payback, copyCost) {
+			worth := r.p.Worth
+			if worth == nil {
+				worth = Worthwhile
+			}
+			if !worth(benefit, r.p.Payback, copyCost) {
 				s.streak.Clear()
 				continue
 			}

@@ -1,0 +1,76 @@
+package model
+
+// Crossover finds the stable crossover point from lock a to lock b: the
+// smallest processor count in [lo, hi] from which b stays strictly
+// cheaper than a (on predicted per-round overhead) all the way to hi —
+// the analytic version of the Figure 5b crossover the tuner otherwise
+// discovers by search. The boolean is false when b is not cheaper at hi.
+//
+// Two details of the definition matter. Strictness: families that
+// degenerate to the same protocol in a regime (cohort and CNA within one
+// station) predict equal costs there, and a tie is no reason to switch.
+// Stability: near-tied families can trade the lead by fractions of a
+// microsecond at low contention, so "first point where b wins" would fire
+// on noise-scale leads that immediately reverse; the regime boundary a
+// controller should act on is where b's advantage persists as contention
+// grows. The solver scans down from hi for the boundary; model_test
+// checks it against a brute-force evaluation of the definition.
+func (pr Predictor) Crossover(a, b Lock, holdUS float64, lo, hi int) (int, bool) {
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > pr.M.Procs() {
+		hi = pr.M.Procs()
+	}
+	if lo > hi {
+		return 0, false
+	}
+	beats := func(p int) bool {
+		pt := Point{Procs: p, HoldUS: holdUS}
+		return pr.Predict(b, pt).PairUS < pr.Predict(a, pt).PairUS
+	}
+	if !beats(hi) {
+		return 0, false
+	}
+	p := hi
+	for p > lo && beats(p-1) {
+		p--
+	}
+	return p, true
+}
+
+// crossoverHoldSteps is the grid resolution CrossoverHold scans at.
+const crossoverHoldSteps = 4096
+
+// CrossoverHold finds the stable crossover in the hold dimension: the
+// smallest hold time in [loUS, hiUS] from which lock b stays strictly
+// cheaper than lock a at a fixed contention level, evaluated on a
+// 4096-point grid (so the answer is exact to (hiUS-loUS)/4096). The
+// boolean is false when b is not cheaper at hiUS. Only the spin family's
+// overhead depends on the hold — longer holds mean more module-bandwidth
+// exposure — so this locates where spinning stops being worth it as
+// critical sections grow.
+func (pr Predictor) CrossoverHold(a, b Lock, procs int, loUS, hiUS float64) (float64, bool) {
+	if loUS < 0 {
+		loUS = 0
+	}
+	if loUS > hiUS {
+		return 0, false
+	}
+	beats := func(h float64) bool {
+		pt := Point{Procs: procs, HoldUS: h}
+		return pr.Predict(b, pt).PairUS < pr.Predict(a, pt).PairUS
+	}
+	if !beats(hiUS) {
+		return 0, false
+	}
+	cross := hiUS
+	for i := crossoverHoldSteps - 1; i >= 0; i-- {
+		h := loUS + (hiUS-loUS)*float64(i)/crossoverHoldSteps
+		if !beats(h) {
+			break
+		}
+		cross = h
+	}
+	return cross, true
+}

@@ -69,6 +69,13 @@ type DaemonParams struct {
 	// home (processor and module numbers coincide on HECTOR). Override
 	// when not every processor runs (lockstat's stress loop).
 	Exec func(home int) int
+	// Worth, when non-nil, replaces the Worthwhile payback heuristic for
+	// the move decision (same signature and meaning: does benefit×horizon
+	// repay cost?). The analytic model supplies one via
+	// model.Calibration.Worth, which inflates the bar by the model's
+	// residual fit error so uncertain predictions buy less. Nil keeps
+	// Worthwhile; every default is unchanged.
+	Worth func(benefit float64, horizon int, cost float64) bool
 }
 
 func (p DaemonParams) withDefaults() DaemonParams {
@@ -268,7 +275,11 @@ func (d *Daemon) Tick(now sim.Time) {
 			// scale) must repay the copy within the Payback horizon.
 			benefit := (prop.CurCost - prop.NewCost) / 16
 			copyCost := float64(d.m.Mem.RegionWords(s.Region)) * d.costs.Ring
-			if !autonomic.Worthwhile(benefit, d.p.Payback, copyCost) {
+			worth := d.p.Worth
+			if worth == nil {
+				worth = autonomic.Worthwhile
+			}
+			if !worth(benefit, d.p.Payback, copyCost) {
 				prop.Proposed = prop.Home
 			}
 		}
